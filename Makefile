@@ -1,0 +1,32 @@
+# Convenience targets for the GHRP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-quick examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@echo "rendered figures: benchmarks/results/figures.txt (+ .pgm/.svg)"
+
+examples:
+	$(PYTHON) examples/quickstart.py --fast
+	$(PYTHON) examples/workload_characterization.py --branches 5000
+	$(PYTHON) examples/timing_study.py --fast
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

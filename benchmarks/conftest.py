@@ -1,0 +1,122 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The expensive inputs (policy x workload simulation grids) are computed
+once per session and shared by every figure benchmark; each benchmark
+then times its own figure pipeline exactly once (``pedantic`` with one
+round — these are simulations, not microseconds-scale kernels) and
+asserts the paper's qualitative shape.
+
+Set ``REPRO_BENCH_PROFILE=quick`` for a fast smoke profile (smaller suite,
+shorter traces); the default ``standard`` profile is what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import PAPER_POLICIES
+from repro.experiments.runner import run_grid
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_suite
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "standard")
+
+_PROFILES = {
+    # mix per category, trace_scale, sweep workload count
+    "quick": ({Category.SHORT_MOBILE: 1, Category.LONG_MOBILE: 1,
+               Category.SHORT_SERVER: 2, Category.LONG_SERVER: 1}, 0.5, 1),
+    "standard": ({Category.SHORT_MOBILE: 3, Category.LONG_MOBILE: 2,
+                  Category.SHORT_SERVER: 4, Category.LONG_SERVER: 3}, 1.0, 2),
+}
+
+if PROFILE not in _PROFILES:  # pragma: no cover - config guard
+    raise RuntimeError(f"unknown REPRO_BENCH_PROFILE {PROFILE!r}")
+
+_MIX, _TRACE_SCALE, _SWEEP_COUNT = _PROFILES[PROFILE]
+
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "figures.txt")
+
+
+def emit(text: str) -> None:
+    """Record a rendered figure.
+
+    pytest captures stdout at the file-descriptor level, so figures are
+    *teed* into ``benchmarks/results/figures.txt`` (truncated at session
+    start) as well as printed (visible with ``-s`` or on failure).
+    """
+    print(text, flush=True)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_sessionstart(session):
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        handle.write(f"# Figure outputs (profile={PROFILE})\n")
+
+
+@pytest.fixture(scope="session")
+def suite_workloads():
+    """The benchmark suite (the stand-in for the paper's 662 traces)."""
+    return make_suite(base_seed=2018, mix=_MIX, trace_scale=_TRACE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's Section IV front end (64KB 8-way I-cache, 4K BTB)."""
+    return FrontEndConfig()
+
+
+@pytest.fixture(scope="session")
+def suite_grid(suite_workloads, paper_config):
+    """Five-policy grid over the whole suite — the input to Figures 3, 6,
+    8, 9, 10, 11 and the headline numbers.  Computed once per session."""
+    emit(
+        f"[bench setup] simulating {len(suite_workloads)} workloads x "
+        f"{len(PAPER_POLICIES)} policies (profile={PROFILE}) ..."
+    )
+    grid = run_grid(
+        suite_workloads,
+        PAPER_POLICIES,
+        paper_config,
+        progress=lambda cell: emit(
+            f"  {cell.workload}/{cell.policy}: icache={cell.icache_mpki:.3f} "
+            f"btb={cell.btb_mpki:.3f} ({cell.elapsed_seconds:.0f}s)"
+        ),
+    )
+    return grid
+
+
+@pytest.fixture(scope="session")
+def heatmap_workload(suite_workloads):
+    """One server trace for the Figure 1/5 heat maps."""
+    servers = [w for w in suite_workloads if w.category.is_server]
+    return servers[0]
+
+
+@pytest.fixture(scope="session")
+def ablation_workloads(suite_workloads):
+    """Two pressured server traces for the design-choice ablations."""
+    servers = [w for w in suite_workloads if w.category.is_server]
+    return servers[:2]
+
+
+def run_result(workload, config: FrontEndConfig):
+    """Simulate one workload with the paper's warm-up rule."""
+    from repro.experiments.runner import run_workload
+
+    return run_workload(workload, config)
+
+
+@pytest.fixture(scope="session")
+def sweep_workloads(suite_workloads):
+    """Subset used for the Figure 7 configuration sweep (one mobile, one
+    or two servers — 8 configs x 5 policies is 40 runs per workload)."""
+    mobile = [w for w in suite_workloads if not w.category.is_server]
+    server = [w for w in suite_workloads if w.category.is_server]
+    return mobile[:1] + server[:_SWEEP_COUNT]

@@ -1,0 +1,41 @@
+"""Ablation: GHRP's bypass optimization on vs off (Algorithm 1 line 13).
+
+Bypassing predicted-dead fills keeps streaming code from displacing live
+blocks; disabling it should cost (or at best not help) MPKI.
+"""
+
+import statistics
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import build_frontend
+from benchmarks.conftest import emit
+
+
+def _mean_mpki(workloads, enable_bypass):
+    values = []
+    for workload in workloads:
+        config = FrontEndConfig(icache_policy="ghrp", btb_policy="ghrp")
+        frontend = build_frontend(config)
+        frontend.icache.policy.enable_bypass = enable_bypass
+        warmup = min(workload.instruction_count() // 2, config.warmup_cap_instructions)
+        result = frontend.run(workload.records(), warmup_instructions=warmup)
+        values.append((result.icache_mpki, frontend.icache.stats.bypasses))
+    return statistics.mean(v for v, _ in values), sum(b for _, b in values)
+
+
+def test_ablation_bypass(benchmark, ablation_workloads):
+    def run_ablation():
+        with_bypass, bypass_count = _mean_mpki(ablation_workloads, True)
+        without_bypass, zero = _mean_mpki(ablation_workloads, False)
+        return with_bypass, without_bypass, bypass_count, zero
+
+    with_bypass, without_bypass, bypass_count, zero = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    emit(
+        f"\nAblation (bypass): on={with_bypass:.3f} MPKI ({bypass_count} bypasses), "
+        f"off={without_bypass:.3f} MPKI"
+    )
+    assert zero == 0                      # disabled means zero bypasses
+    assert bypass_count > 0               # enabled means it actually fires
+    assert with_bypass <= without_bypass * 1.05

@@ -1,0 +1,43 @@
+"""Ablation: GHRP dead/bypass threshold operating points.
+
+The paper stresses threshold tuning: low thresholds buy coverage, high
+thresholds buy accuracy, and bypass mistakes are the costliest (a wrongly
+bypassed block re-misses until its signature re-trains).  This sweep
+regenerates the trade-off curve on the repository's tuned default.
+"""
+
+import statistics
+
+from repro.core.config import GHRPConfig
+from repro.frontend.config import FrontEndConfig
+from benchmarks.conftest import emit, run_result
+
+
+def _mean_mpki(workloads, ghrp_config):
+    config = FrontEndConfig(icache_policy="ghrp", btb_policy="ghrp", ghrp=ghrp_config)
+    return statistics.mean(run_result(w, config).icache_mpki for w in workloads)
+
+
+def test_ablation_thresholds(benchmark, ablation_workloads):
+    base = GHRPConfig.tuned_for_synthetic()
+    points = {
+        "aggressive (dead>=1, init 0)": base.with_overrides(
+            initial_counter=0, dead_threshold=1, bypass_threshold=2
+        ),
+        "moderate (dead>=2, init 0)": base.with_overrides(
+            initial_counter=0, dead_threshold=2, bypass_threshold=3
+        ),
+        "tuned (dead==max, init mid)": base,
+    }
+
+    def run_ablation():
+        return {label: _mean_mpki(ablation_workloads, cfg) for label, cfg in points.items()}
+
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit("\nAblation (GHRP thresholds):")
+    for label, mpki in results.items():
+        emit(f"  {label:30s} {mpki:.3f} MPKI")
+
+    # The tuned default must be the best (or within noise of it).
+    tuned = results["tuned (dead==max, init mid)"]
+    assert tuned <= min(results.values()) * 1.02

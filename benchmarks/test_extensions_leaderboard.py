@@ -1,0 +1,78 @@
+"""Extensions leaderboard: every policy vs Belady's OPT lower bound.
+
+Beyond the paper's five policies, the library implements the classical
+and modern extensions (FIFO, NRU, Tree-PLRU, BRRIP, DRRIP, SHiP, the
+Section II-B predecessors, GHRP-DIP) and the offline optimum.  This
+benchmark races them all on one pressured server trace using the bare
+I-cache (no BTB needed), and reports each policy's position in the
+LRU-to-OPT gap — the honest way to contextualize any replacement-policy
+improvement.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.opt import BeladyOptPolicy
+from repro.policies.registry import make_policy
+from repro.traces.reconstruct import FetchBlockStream
+from benchmarks.conftest import PROFILE, emit
+
+CONTENDERS = (
+    "lru", "mru", "fifo", "random", "nru", "plru",
+    "srrip", "brrip", "drrip", "ship",
+    "reftrace", "counter-dbp", "sdbp", "ghrp", "ghrp-dip",
+)
+
+
+def _access_sequence(workload):
+    accesses = []
+    for chunk in FetchBlockStream(workload.records()):
+        start_pc = chunk.start_pc
+        for block in chunk.block_addresses(64):
+            accesses.append((block, max(start_pc, block)))
+    return accesses
+
+
+def _simulate(accesses, policy, warmup_index):
+    geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+    cache = SetAssociativeCache(geometry, policy)
+    snapshot = None
+    for index, (block, pc) in enumerate(accesses):
+        cache.access(block, pc=pc)
+        if snapshot is None and index >= warmup_index:
+            snapshot = cache.stats.snapshot()
+    return cache.stats.since(snapshot).misses
+
+
+def test_extensions_leaderboard(benchmark, ablation_workloads):
+    workload = ablation_workloads[0]
+
+    def run_leaderboard():
+        accesses = _access_sequence(workload)
+        warmup_index = len(accesses) // 2
+        misses = {}
+        for name in CONTENDERS:
+            misses[name] = _simulate(accesses, make_policy(name), warmup_index)
+        opt = BeladyOptPolicy()
+        opt.preload([block for block, _ in accesses])
+        misses["opt"] = _simulate(accesses, opt, warmup_index)
+        return misses
+
+    misses = benchmark.pedantic(run_leaderboard, rounds=1, iterations=1)
+
+    lru, opt = misses["lru"], misses["opt"]
+    gap = max(lru - opt, 1)
+    emit(f"\nExtensions leaderboard ({workload.name}, 64KB 8-way I-cache):")
+    for name, count in sorted(misses.items(), key=lambda kv: kv[1]):
+        closed = 100.0 * (lru - count) / gap
+        emit(f"  {name:12s} {count:8d} misses   ({closed:+6.1f}% of LRU->OPT gap)")
+
+    # The offline optimum must dominate every online policy.
+    assert all(misses["opt"] <= count for name, count in misses.items())
+    # GHRP must close a positive fraction of the gap on full-length
+    # traces (the quick profile truncates its learning window).
+    if PROFILE == "standard":
+        assert misses["ghrp"] < lru
+    else:
+        assert misses["ghrp"] <= lru * 1.03
+    # The pathological policy must be clearly worse than LRU.
+    assert misses["mru"] > lru

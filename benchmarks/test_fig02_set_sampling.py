@@ -1,0 +1,29 @@
+"""Figure 2: set sampling cannot generalize for instruction streams.
+
+The paper's Section II-A analysis, made quantitative: a set-sampled SDBP
+(LLC-style) must not beat the full-sampler SDBP, because a PC only ever
+visits one I-cache set so a sampled subset observes almost none of the
+signatures that matter.
+"""
+
+from repro.experiments.figures import fig2_set_sampling
+from benchmarks.conftest import emit
+
+
+def test_fig02_set_sampling(benchmark, heatmap_workload, paper_config):
+    result = benchmark.pedantic(
+        fig2_set_sampling,
+        args=(heatmap_workload,),
+        kwargs={"config": paper_config, "sampled_stride": 16},
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + result.render())
+
+    # The sampled variant learns from 1/16 of the sets: it cannot do
+    # meaningfully better than the full-information variant, and both must
+    # stay in LRU's neighbourhood (SDBP ~ LRU on instruction streams).
+    assert result.full_mpki <= result.sampled_mpki * 1.02
+    assert result.sampled_mpki == result.lru_mpki or (
+        abs(result.sampled_mpki - result.lru_mpki) / result.lru_mpki < 0.25
+    )

@@ -1,0 +1,40 @@
+"""Figure 3: I-cache MPKI S-curve (64KB 8-way, 64B lines, whole suite).
+
+Workloads ordered by LRU MPKI, one series per policy; the paper's reading
+is that GHRP tracks at or below LRU across the curve while Random rides
+above it.
+"""
+
+import os
+
+from repro.experiments.figures import fig3_icache_scurve
+from repro.viz.svg import scurve_svg
+from benchmarks.conftest import RESULTS_PATH, emit
+
+
+def test_fig03_icache_scurve(benchmark, suite_grid):
+    curve = benchmark.pedantic(
+        fig3_icache_scurve, args=(suite_grid,), rounds=1, iterations=1
+    )
+    emit("\nFig. 3 — I-cache MPKI S-curve (64KB 8-way)")
+    emit(curve.render_ascii(height=14))
+    for name, series in curve.series.items():
+        emit(f"  {name:7s} " + " ".join(f"{v:7.3f}" for v in series))
+    svg_path = os.path.join(os.path.dirname(RESULTS_PATH), "fig03_scurve.svg")
+    with open(svg_path, "w", encoding="utf-8") as handle:
+        handle.write(scurve_svg(dict(curve.series), title="Fig. 3 I-cache S-curve"))
+
+    assert curve.order == tuple(sorted(
+        curve.order,
+        key=lambda w: curve.series["lru"][curve.order.index(w)],
+    ))
+    suite_size = len(curve.order)
+    # GHRP at or below LRU on the big-MPKI half of the curve.
+    pressured = [
+        i for i in range(suite_size) if curve.series["lru"][i] >= 1.0
+    ]
+    assert pressured, "suite must contain pressured traces"
+    ghrp_wins = sum(
+        1 for i in pressured if curve.series["ghrp"][i] <= curve.series["lru"][i] * 1.02
+    )
+    assert ghrp_wins >= len(pressured) * 0.8

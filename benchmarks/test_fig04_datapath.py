@@ -1,0 +1,33 @@
+"""Figure 4: the prediction datapath (3 hashes -> 3 tables -> majority).
+
+Structural validation plus a throughput microbenchmark of the
+predict/train pipeline — the operations that Figure 4's hardware datapath
+performs per access.
+"""
+
+from repro.core.config import GHRPConfig
+from repro.core.ghrp import GHRPPredictor
+from repro.experiments.figures import fig4_datapath
+from benchmarks.conftest import emit
+
+
+def test_fig04_datapath_structure(benchmark):
+    check = benchmark.pedantic(fig4_datapath, rounds=1, iterations=1)
+    emit("\n" + check.render())
+    assert check.majority_agreement == 1.0
+    assert check.distinct_index_fraction > 0.95
+
+
+def test_fig04_predict_train_throughput(benchmark):
+    """Ops/sec of one predict + one train round trip."""
+    predictor = GHRPPredictor(GHRPConfig())
+    signatures = [(s * 2654435761) & 0xFFFF for s in range(1024)]
+    state = {"i": 0}
+
+    def step():
+        i = state["i"] = (state["i"] + 1) % 1024
+        signature = signatures[i]
+        vote = predictor.predict_dead(signature)
+        predictor.train(signature, is_dead=not vote.is_dead)
+
+    benchmark(step)

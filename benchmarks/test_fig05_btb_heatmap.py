@@ -1,0 +1,33 @@
+"""Figure 5: BTB efficiency heat map (256 entries, 8-way, five policies).
+
+"GHRP improves live time over the other policies" — checked as overall
+efficiency on a pressured server trace against the classic baselines.
+"""
+
+import os
+
+from repro.experiments.figures import PAPER_POLICIES, fig5_btb_heatmap
+from repro.viz.pgm import heatmap_to_pgm
+from benchmarks.conftest import RESULTS_PATH, emit
+
+
+def test_fig05_btb_heatmap(benchmark, heatmap_workload, paper_config):
+    result = benchmark.pedantic(
+        fig5_btb_heatmap,
+        args=(heatmap_workload,),
+        kwargs={"policies": PAPER_POLICIES, "config": paper_config},
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + result.render())
+
+    results_dir = os.path.dirname(RESULTS_PATH)
+    for policy, matrix in result.matrices.items():
+        heatmap_to_pgm(os.path.join(results_dir, f"fig05_{policy}.pgm"), matrix)
+
+    for matrix in result.matrices.values():
+        assert matrix.shape == (32, 8)  # 256 entries / 8 ways
+
+    # GHRP must not trail the non-predictive baselines on efficiency.
+    assert result.overall["ghrp"] >= result.overall["random"] * 0.95
+    assert result.overall["ghrp"] >= result.overall["lru"] * 0.95

@@ -1,0 +1,43 @@
+"""Figure 7: mean I-cache MPKI across {8,16,32,64}KB x {4,8}-way.
+
+"For each configuration, the trend is the same": Random performs poorly
+and MPKI shrinks monotonically with capacity.
+"""
+
+from repro.experiments.figures import PAPER_POLICIES, SWEEP_CONFIGS, fig7_config_sweep
+from benchmarks.conftest import emit
+
+
+def test_fig07_config_sweep(benchmark, sweep_workloads, paper_config):
+    sweep = benchmark.pedantic(
+        fig7_config_sweep,
+        args=(sweep_workloads,),
+        kwargs={
+            "policies": PAPER_POLICIES,
+            "configs": SWEEP_CONFIGS,
+            "base_config": paper_config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("\n" + sweep.render())
+
+    # Capacity monotonicity at fixed associativity, per policy.
+    for policy in PAPER_POLICIES:
+        for assoc in (4, 8):
+            series = [
+                sweep.means[(kb * 1024, assoc)][policy] for kb in (8, 16, 32, 64)
+            ]
+            for smaller, larger in zip(series, series[1:]):
+                assert larger <= smaller * 1.05
+
+    # Random never the best policy in any configuration.
+    for config, per_policy in sweep.means.items():
+        assert min(per_policy, key=per_policy.get) != "random"
+
+    # GHRP at or below LRU in most configurations.
+    ghrp_ok = sum(
+        1 for per_policy in sweep.means.values()
+        if per_policy["ghrp"] <= per_policy["lru"] * 1.03
+    )
+    assert ghrp_ok >= len(sweep.means) * 0.75

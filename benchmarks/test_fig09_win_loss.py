@@ -1,0 +1,25 @@
+"""Figure 9: per-trace better/similar/worse-than-LRU counts.
+
+The paper: GHRP harms only a tiny fraction of traces (2% of 662) while
+Random harms most (541 of 662).
+"""
+
+from repro.experiments.figures import fig9_win_loss
+from benchmarks.conftest import emit
+
+
+def test_fig09_win_loss(benchmark, suite_grid):
+    results = benchmark.pedantic(
+        fig9_win_loss, args=(suite_grid.icache,), rounds=1, iterations=1
+    )
+    emit("\nFig. 9 — traces better/similar/worse than LRU (I-cache)")
+    for result in results:
+        emit("  " + result.render())
+
+    by_policy = {r.policy: r for r in results}
+    # GHRP: no more than a small minority of traces harmed.
+    assert by_policy["ghrp"].fraction("losses") <= 0.25
+    # GHRP harms fewer traces than Random.
+    assert by_policy["ghrp"].losses <= by_policy["random"].losses
+    # GHRP helps at least some traces.
+    assert by_policy["ghrp"].wins >= 1

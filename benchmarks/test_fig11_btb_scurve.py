@@ -1,0 +1,29 @@
+"""Figure 11: BTB MPKI S-curve over the suite (4K entries, 4-way)."""
+
+import os
+
+from repro.experiments.figures import fig11_btb_scurve
+from repro.viz.svg import scurve_svg
+from benchmarks.conftest import RESULTS_PATH, emit
+
+
+def test_fig11_btb_scurve(benchmark, suite_grid):
+    curve = benchmark.pedantic(
+        fig11_btb_scurve, args=(suite_grid,), rounds=1, iterations=1
+    )
+    emit("\nFig. 11 — BTB MPKI S-curve (4K entries, 4-way)")
+    emit(curve.render_ascii(height=14))
+    for name, series in curve.series.items():
+        emit(f"  {name:7s} " + " ".join(f"{v:7.3f}" for v in series))
+    svg_path = os.path.join(os.path.dirname(RESULTS_PATH), "fig11_scurve.svg")
+    with open(svg_path, "w", encoding="utf-8") as handle:
+        handle.write(scurve_svg(dict(curve.series), title="Fig. 11 BTB S-curve"))
+
+    # On the BTB-pressured traces GHRP rides at or below LRU.
+    pressured = [i for i, v in enumerate(curve.series["lru"]) if v >= 1.0]
+    assert pressured, "suite must contain BTB-pressured traces"
+    wins = sum(
+        1 for i in pressured
+        if curve.series["ghrp"][i] <= curve.series["lru"][i] * 1.02
+    )
+    assert wins >= len(pressured) * 0.7

@@ -1,0 +1,41 @@
+"""The abstract's headline numbers, recomputed for our suite.
+
+Paper (662 industrial traces): I-cache GHRP 0.86 vs LRU 1.05 (-18%),
+SRRIP 1.02, SDBP 1.10, Random 1.14; >=1-MPKI subset GHRP -26%; BTB GHRP
+3.21 vs LRU 4.58 (-30%).  Absolute values depend on the trace suite; the
+*shape* asserted here is the ordering and the signs of the reductions.
+"""
+
+from repro.experiments.figures import category_breakdown, headline_numbers
+from benchmarks.conftest import emit
+
+
+def test_headline_numbers(benchmark, suite_grid, suite_workloads):
+    headline = benchmark.pedantic(
+        headline_numbers, args=(suite_grid,), rounds=1, iterations=1
+    )
+    emit("\n" + headline.render())
+    emit("")
+    emit(category_breakdown(suite_grid, suite_workloads, "icache").render())
+    emit("")
+    emit(category_breakdown(suite_grid, suite_workloads, "btb").render())
+
+    icache = headline.icache_means
+    btb = headline.btb_means
+
+    # I-cache ordering: GHRP best; Random worst.
+    assert icache["ghrp"] == min(icache.values())
+    assert icache["random"] == max(icache.values())
+    # GHRP reduces I-cache MPKI vs every baseline.
+    for baseline in ("lru", "random", "srrip", "sdbp"):
+        assert icache["ghrp"] < icache[baseline]
+
+    # Subset of >=1-MPKI traces: GHRP still lowest.
+    subset = headline.icache_subset_means
+    assert subset["ghrp"] == min(subset.values())
+
+    # BTB: GHRP and SRRIP improve on LRU; SDBP ~ LRU; Random does not win.
+    assert btb["ghrp"] < btb["lru"]
+    assert btb["srrip"] < btb["lru"]
+    assert btb["random"] >= min(btb.values())
+    assert abs(btb["sdbp"] - btb["lru"]) / btb["lru"] < 0.1

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""I-cache replacement policy study across cache geometries.
+
+Reproduces the methodology of the paper's Figure 7 interactively: sweep
+I-cache capacity and associativity, compare every registered replacement
+policy (including the extensions the paper does not evaluate — FIFO,
+Tree-PLRU, DRRIP — and the offline-optimal OPT upper bound), and print the
+mean MPKI grid.
+
+OPT needs the future access sequence, so this example also demonstrates
+the two-pass flow: reconstruct the block-access sequence once, preload it
+into the policy, then replay.
+
+Run:  python examples/icache_policy_study.py [--policies lru ghrp opt ...]
+"""
+
+import argparse
+
+from repro import Category, FrontEndConfig, make_workload
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.experiments.report import format_table
+from repro.policies.opt import BeladyOptPolicy
+from repro.policies.registry import available_policies, make_policy
+from repro.traces.reconstruct import FetchBlockStream
+
+DEFAULT_POLICIES = ("lru", "fifo", "plru", "srrip", "drrip", "sdbp", "ghrp", "opt")
+GEOMETRIES = ((16, 4), (16, 8), (32, 8), (64, 8))
+
+
+def block_access_sequence(workload, block_size):
+    """One reconstruction pass: (block address, pc) per I-cache access."""
+    accesses = []
+    for chunk in FetchBlockStream(workload.records()):
+        start_pc = chunk.start_pc
+        for block in chunk.block_addresses(block_size):
+            accesses.append((block, max(start_pc, block)))
+    return accesses
+
+
+def simulate(accesses, capacity_kb, assoc, policy_name, warmup_index):
+    """Drive a bare I-cache (no BTB needed for this study)."""
+    geometry = CacheGeometry.from_capacity(capacity_kb * 1024, assoc, 64)
+    if policy_name == "opt":
+        policy = BeladyOptPolicy()
+        policy.preload([block for block, _ in accesses])
+    elif policy_name == "ghrp":
+        from repro.core.config import GHRPConfig
+
+        policy = make_policy("ghrp", config=GHRPConfig.tuned_for_synthetic())
+    else:
+        policy = make_policy(policy_name)
+    cache = SetAssociativeCache(geometry, policy)
+    snapshot = None
+    for index, (block, pc) in enumerate(accesses):
+        cache.access(block, pc=pc)
+        if snapshot is None and index >= warmup_index:
+            snapshot = cache.stats.snapshot()
+    measured = cache.stats.since(snapshot) if snapshot else cache.stats
+    return measured.misses
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES),
+                        choices=sorted(set(available_policies()) | {"opt"}))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trace-scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    workload = make_workload(
+        "study", Category.SHORT_SERVER, seed=args.seed, trace_scale=args.trace_scale
+    )
+    print(f"workload footprint: {workload.code_footprint_bytes // 1024} KB")
+    accesses = block_access_sequence(workload, block_size=64)
+    warmup_index = len(accesses) // 2
+    print(f"I-cache accesses: {len(accesses)} (measuring the second half)\n")
+
+    rows = []
+    for capacity_kb, assoc in GEOMETRIES:
+        misses = {
+            policy: simulate(accesses, capacity_kb, assoc, policy, warmup_index)
+            for policy in args.policies
+        }
+        rows.append((f"{capacity_kb}KB {assoc}-way",) + tuple(
+            misses[p] for p in args.policies
+        ))
+    print(format_table(("geometry",) + tuple(args.policies), rows))
+    print()
+    print("Notes: 'opt' is Belady's offline optimum (the lower bound any")
+    print("online policy can approach); the paper's Figure 7 shows the same")
+    print("policy ordering holding across geometries.")
+
+
+if __name__ == "__main__":
+    main()

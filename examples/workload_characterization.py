@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Workload characterization: reuse distance + dead-block structure.
+
+Before trusting any replacement-policy comparison you should know what
+the workloads look like.  This example runs the analysis package over one
+workload per category and prints:
+
+- the trace summary (footprint, branchiness, taken rate),
+- the reuse-distance profile (equivalently, the fully-associative LRU
+  miss-rate curve — the capacity behaviour that separates the paper's
+  MOBILE and SERVER buckets),
+- generation statistics: accesses per generation, the single-use
+  fraction (streaming code, GHRP's bypass targets), and the dead-time
+  fraction (1 - cache efficiency, the paper's Figure 1 quantity).
+
+Run:  python examples/workload_characterization.py [--branches 20000]
+"""
+
+import argparse
+
+from repro import Category, make_workload
+from repro.analysis import characterize_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--branches", type=int, default=20_000,
+        help="branch records analysed per workload (reuse analysis is "
+             "O(N log N))",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    for category in Category:
+        workload = make_workload(
+            f"char-{category.value}", category, seed=args.seed
+        )
+        report = characterize_workload(workload, max_branches=args.branches)
+        print(report.render())
+        print("-" * 60)
+
+    print(
+        "Reading guide: SERVER workloads show fully-associative hit rates\n"
+        "that keep climbing past 64KB (capacity pressure at the paper's\n"
+        "I-cache size) and high single-use fractions (bypassable streaming\n"
+        "code); MOBILE workloads mostly fit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of GHRP (ISCA 2018).
+
+Predictive replacement for instruction caches and branch target buffers:
+*Exploring Predictive Replacement Policies for Instruction Cache and
+Branch Target Buffer*, Mirbagher Ajorpaz, Garza, Jindal, Jiménez,
+ISCA 2018.
+
+Quickstart::
+
+    from repro import FrontEndConfig, build_frontend, make_workload, Category
+
+    workload = make_workload("demo", Category.SHORT_SERVER, seed=1)
+    frontend = build_frontend(FrontEndConfig(icache_policy="ghrp"))
+    result = frontend.run(workload.records(), warmup_instructions=100_000)
+    print(result.summary_line())
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the GHRP predictor (history, signatures, tables)
+- :mod:`repro.policies` — LRU/Random/SRRIP/SDBP/GHRP and friends
+- :mod:`repro.cache`, :mod:`repro.btb` — the cached structures
+- :mod:`repro.branch` — direction predictors and the RAS
+- :mod:`repro.traces`, :mod:`repro.workloads` — traces and their synthesis
+- :mod:`repro.frontend` — the decoupled front-end simulator
+- :mod:`repro.experiments`, :mod:`repro.stats` — the evaluation harness
+"""
+
+from repro.core.config import GHRPConfig
+from repro.core.ghrp import GHRPPredictor
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.btb.btb import BranchTargetBuffer
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import FrontEnd, build_frontend
+from repro.frontend.results import SimulationResult
+from repro.policies.registry import available_policies, make_policy
+from repro.traces.record import BranchRecord, BranchType
+from repro.workloads.spec import Category
+from repro.workloads.suite import Workload, make_suite, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GHRPConfig",
+    "GHRPPredictor",
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "BranchTargetBuffer",
+    "FrontEndConfig",
+    "FrontEnd",
+    "build_frontend",
+    "SimulationResult",
+    "available_policies",
+    "make_policy",
+    "BranchRecord",
+    "BranchType",
+    "Category",
+    "Workload",
+    "make_suite",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""One-call workload characterization.
+
+Bundles the trace summary, reuse-distance profile, and deadness profile
+into a single report — the "know your workload" step before interpreting
+any replacement-policy result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.deadness import DeadnessProfile, deadness_profile
+from repro.analysis.reuse import ReuseProfile, reuse_distance_profile
+from repro.cache.geometry import CacheGeometry
+from repro.traces.stats import TraceSummary, summarize_trace
+from repro.workloads.suite import Workload
+
+__all__ = ["WorkloadCharacterization", "characterize_workload"]
+
+
+@dataclass(slots=True)
+class WorkloadCharacterization:
+    """Everything the analysis package knows about one workload."""
+
+    name: str
+    summary: TraceSummary
+    reuse: ReuseProfile
+    deadness: DeadnessProfile
+
+    def render(self) -> str:
+        summary = self.summary
+        lines = [
+            f"workload: {self.name}",
+            f"  branches           {summary.branch_count}",
+            f"  instructions       {summary.instruction_count}",
+            f"  taken fraction     {summary.taken_fraction:.3f}",
+            f"  avg run length     {summary.avg_run_length:.2f} instr",
+            f"  touched code       {summary.code_footprint_bytes // 1024} KB "
+            f"({summary.unique_blocks_64b} blocks)",
+            f"  unique branch PCs  {summary.unique_branch_pcs}",
+            "",
+            "  reuse distances (fully-assoc LRU hit rate):",
+        ]
+        for capacity_kb in (8, 16, 32, 64, 128):
+            blocks = capacity_kb * 1024 // 64
+            lines.append(
+                f"    {capacity_kb:4d} KB -> {self.reuse.hit_rate_at(blocks):.3f}"
+            )
+        lines += [
+            "",
+            f"  generations         {self.deadness.generations}",
+            f"  accesses/generation {self.deadness.mean_accesses_per_generation:.2f}",
+            f"  single-use fraction {self.deadness.single_use_fraction:.3f}",
+            f"  dead-time fraction  {self.deadness.dead_time_fraction:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+def characterize_workload(
+    workload: Workload,
+    geometry: CacheGeometry | None = None,
+    max_branches: int | None = None,
+) -> WorkloadCharacterization:
+    """Characterize a workload (summary + reuse + deadness)."""
+    limit = max_branches if max_branches is not None else workload.spec.branch_budget
+    return WorkloadCharacterization(
+        name=workload.name,
+        summary=summarize_trace(workload.records(limit)),
+        reuse=reuse_distance_profile(workload.records(limit)),
+        deadness=deadness_profile(workload.records(limit), geometry=geometry),
+    )

@@ -1,0 +1,98 @@
+"""Per-set pressure analysis (hot and cold sets).
+
+Section III-E of the paper, discussing the BTB heat map: "the different
+sets experience different levels of access, i.e. there are hot and cold
+sets."  This module quantifies that: per-set access counts for a given
+geometry, plus a Gini-style imbalance coefficient so hot/cold skew can
+be compared across structures and workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.traces.record import BranchRecord
+from repro.traces.reconstruct import FetchBlockStream
+
+__all__ = ["SetPressureProfile", "icache_set_pressure", "btb_set_pressure"]
+
+
+@dataclass(slots=True)
+class SetPressureProfile:
+    """Access distribution over the sets of one structure."""
+
+    counts: list[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def hottest_set(self) -> int:
+        return max(range(len(self.counts)), key=self.counts.__getitem__)
+
+    @property
+    def cold_set_fraction(self) -> float:
+        """Fraction of sets receiving less than half the mean load."""
+        if not self.counts or self.total == 0:
+            return 0.0
+        mean = self.total / len(self.counts)
+        return sum(1 for c in self.counts if c < mean / 2) / len(self.counts)
+
+    @property
+    def gini(self) -> float:
+        """Gini coefficient of the per-set load (0 = uniform, ->1 = all
+        load on one set)."""
+        n = len(self.counts)
+        if n == 0 or self.total == 0:
+            return 0.0
+        ordered = sorted(self.counts)
+        cumulative = 0
+        weighted = 0
+        for rank, count in enumerate(ordered, start=1):
+            cumulative += count
+            weighted += rank * count
+        return (2 * weighted) / (n * cumulative) - (n + 1) / n
+
+    def render(self, width: int = 64) -> str:
+        """Compact per-set load strip (one character per bucket)."""
+        if not self.counts:
+            return "(empty)"
+        levels = " .:-=+*#%@"
+        bucket = max(len(self.counts) // width, 1)
+        peaks = [
+            max(self.counts[i:i + bucket])
+            for i in range(0, len(self.counts), bucket)
+        ]
+        top = max(peaks) or 1
+        strip = "".join(levels[int(round(p / top * (len(levels) - 1)))] for p in peaks)
+        return (
+            f"sets={len(self.counts)} total={self.total} gini={self.gini:.3f} "
+            f"cold={self.cold_set_fraction:.1%}\n[{strip}]"
+        )
+
+
+def icache_set_pressure(
+    records: Iterable[BranchRecord], geometry: CacheGeometry | None = None
+) -> SetPressureProfile:
+    """Per-set demand-access counts for an I-cache geometry."""
+    geometry = geometry or CacheGeometry.from_capacity(64 * 1024, 8, 64)
+    counts = [0] * geometry.num_sets
+    for chunk in FetchBlockStream(records):
+        for block in chunk.block_addresses(geometry.block_size):
+            counts[geometry.set_index(block)] += 1
+    return SetPressureProfile(counts=counts)
+
+
+def btb_set_pressure(
+    records: Iterable[BranchRecord], num_sets: int = 1024
+) -> SetPressureProfile:
+    """Per-set BTB access counts (taken, BTB-eligible branches only)."""
+    geometry = CacheGeometry(num_sets=num_sets, associativity=1, block_size=4)
+    counts = [0] * num_sets
+    for record in records:
+        if record.taken and record.branch_type.uses_btb:
+            counts[geometry.set_index(record.pc)] += 1
+    return SetPressureProfile(counts=counts)

@@ -1,0 +1,60 @@
+"""Branch direction predictor interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+__all__ = ["BranchDirectionPredictor", "PredictorStats"]
+
+
+@dataclass(slots=True)
+class PredictorStats:
+    """Direction-prediction accuracy counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    @property
+    def mpki_numerator(self) -> int:
+        """Mispredictions, for computing branch MPKI externally."""
+        return self.mispredictions
+
+
+class BranchDirectionPredictor(abc.ABC):
+    """Predicts taken/not-taken for conditional branches.
+
+    Usage per branch: call :meth:`predict`, compare against the actual
+    outcome, then call :meth:`update` with the truth.  The stats counter is
+    maintained by :meth:`predict_and_update`, the convenience wrapper the
+    front end uses.
+    """
+
+    name: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction and advance histories."""
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, record accuracy, train; returns the prediction."""
+        prediction = self.predict(pc)
+        self.stats.predictions += 1
+        if prediction != taken:
+            self.stats.mispredictions += 1
+        self.update(pc, taken)
+        return prediction

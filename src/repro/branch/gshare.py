@@ -1,0 +1,46 @@
+"""Gshare direction prediction (McFarling).
+
+Two-bit counters indexed by (global history XOR branch PC).  One of the
+ingredient ideas the hashed perceptron merges; kept as a mid-strength
+baseline between bimodal and the perceptron.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchDirectionPredictor
+from repro.util.bits import log2_exact, mask
+
+__all__ = ["GSharePredictor"]
+
+
+class GSharePredictor(BranchDirectionPredictor):
+    """Global-history-XOR-PC indexed two-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, table_entries: int = 65536, history_bits: int = 16):
+        super().__init__()
+        self._index_bits = log2_exact(table_entries)
+        if history_bits > self._index_bits:
+            raise ValueError(
+                f"history_bits ({history_bits}) cannot exceed index bits "
+                f"({self._index_bits})"
+            )
+        self._history_bits = history_bits
+        self._history = 0
+        self._counters = [2] * table_entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & mask(self._index_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._counters[index]
+        if taken and value < 3:
+            self._counters[index] = value + 1
+        elif not taken and value > 0:
+            self._counters[index] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & mask(self._history_bits)

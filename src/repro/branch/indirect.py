@@ -1,0 +1,140 @@
+"""Indirect branch target prediction.
+
+The paper's future work: "we will explore how our techniques interact
+with high-performance indirect branch prediction."  This module provides
+that hook: an ITTAGE-flavoured predictor with a small number of tagged
+target tables indexed by progressively longer path histories, falling
+back to the last-seen target (i.e., what a plain BTB would predict).
+
+Longest-matching-table prediction, usefulness-based allocation on
+mispredictions — the standard shape, sized down for front-end studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bits import mask
+from repro.util.hashing import mix64
+
+__all__ = ["IndirectTargetPredictor", "IndirectStats"]
+
+
+@dataclass(slots=True)
+class IndirectStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class _Entry:
+    __slots__ = ("tag", "target", "confidence")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.target = 0
+        self.confidence = 0
+
+
+class IndirectTargetPredictor:
+    """Tagged multi-table indirect target predictor (ITTAGE-lite)."""
+
+    def __init__(
+        self,
+        num_tables: int = 3,
+        table_index_bits: int = 10,
+        tag_bits: int = 10,
+        history_lengths: tuple[int, ...] = (4, 8, 16),
+        max_confidence: int = 3,
+    ):
+        if len(history_lengths) != num_tables:
+            raise ValueError("need one history length per table")
+        if sorted(history_lengths) != list(history_lengths):
+            raise ValueError("history lengths must be increasing")
+        self.num_tables = num_tables
+        self.index_mask = mask(table_index_bits)
+        self.tag_mask = mask(tag_bits)
+        self.history_lengths = history_lengths
+        self.max_confidence = max_confidence
+        entries = 1 << table_index_bits
+        self._tables = [[_Entry() for _ in range(entries)] for _ in range(num_tables)]
+        # Base predictor: per-PC last target (a tagless direct map).
+        self._base: dict[int, int] = {}
+        self._path_history = 0
+        self.stats = IndirectStats()
+
+    # ------------------------------------------------------------------
+    def note_branch(self, pc: int, taken: bool) -> None:
+        """Fold every branch outcome into the path history."""
+        self._path_history = (
+            (self._path_history << 3) | (((pc >> 2) & 0x3) << 1) | int(taken)
+        ) & mask(48)
+
+    def _index_and_tag(self, pc: int, table: int) -> tuple[int, int]:
+        history = self._path_history & mask(3 * self.history_lengths[table])
+        hashed = mix64(history ^ ((pc >> 2) << 1), tweak=table + 101)
+        return (hashed & self.index_mask, (hashed >> 20) & self.tag_mask)
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target, or None when nothing is known."""
+        for table in range(self.num_tables - 1, -1, -1):
+            index, tag = self._index_and_tag(pc, table)
+            entry = self._tables[table][index]
+            if entry.tag == tag:
+                return entry.target
+        return self._base.get(pc)
+
+    def predict_and_update(self, pc: int, actual_target: int) -> bool:
+        """Predict, score, train; returns whether the prediction was right."""
+        prediction = self.predict(pc)
+        self.stats.predictions += 1
+        correct = prediction == actual_target
+        if not correct:
+            self.stats.mispredictions += 1
+        self._train(pc, actual_target, correct)
+        return correct
+
+    # ------------------------------------------------------------------
+    def _train(self, pc: int, target: int, predicted_correctly: bool) -> None:
+        self._base[pc] = target
+        provider = None
+        for table in range(self.num_tables - 1, -1, -1):
+            index, tag = self._index_and_tag(pc, table)
+            entry = self._tables[table][index]
+            if entry.tag == tag:
+                provider = (table, entry)
+                break
+        if provider is not None:
+            _, entry = provider
+            if entry.target == target:
+                entry.confidence = min(entry.confidence + 1, self.max_confidence)
+            elif entry.confidence > 0:
+                entry.confidence -= 1
+            else:
+                entry.target = target
+        if not predicted_correctly:
+            # Allocate in a longer-history table than the provider.
+            start = provider[0] + 1 if provider is not None else 0
+            for table in range(start, self.num_tables):
+                index, tag = self._index_and_tag(pc, table)
+                entry = self._tables[table][index]
+                if entry.confidence == 0:
+                    entry.tag = tag
+                    entry.target = target
+                    entry.confidence = 1
+                    break
+                entry.confidence -= 1
+
+    def reset(self) -> None:
+        self._path_history = 0
+        self._base.clear()
+        for table in self._tables:
+            for entry in table:
+                entry.tag = -1
+                entry.target = 0
+                entry.confidence = 0

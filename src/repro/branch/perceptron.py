@@ -1,0 +1,135 @@
+"""Hashed perceptron branch prediction (Tarjan & Skadron, TACO 2005).
+
+The paper's direction predictor (Section II-D / IV-A): it "merges the
+concepts behind the gshare, path-based and perceptron branch predictors".
+Instead of one weight per history bit, the outcome and path histories are
+cut into segments; each segment is hashed (together with the branch PC)
+into an index for one weight table.  The prediction is the sign of the sum
+of the selected weights, and training adjusts exactly those weights when
+the prediction was wrong or the sum's magnitude fell below a threshold.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchDirectionPredictor
+from repro.util.bits import mask
+from repro.util.hashing import mix64
+
+__all__ = ["HashedPerceptronPredictor"]
+
+
+class HashedPerceptronPredictor(BranchDirectionPredictor):
+    """Perceptron over hashed history segments.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of weight tables; table 0 is indexed by PC alone (bias
+        weight), the rest by increasingly long history segments — the
+        geometric history lengths idea.
+    table_entries:
+        Entries per weight table (power of two).
+    history_bits:
+        Total global outcome-history length.
+    path_bits:
+        Total path-history (low PC bits of past branches) length.
+    weight_bits:
+        Saturating weight width (7 bits: [-64, 63], the usual choice).
+    theta:
+        Training threshold; defaults to the perceptron paper's
+        ``1.93 * h + 14`` rule of thumb over the mean segment length.
+    """
+
+    name = "hashed-perceptron"
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        table_entries: int = 4096,
+        history_bits: int = 64,
+        path_bits: int = 32,
+        weight_bits: int = 7,
+        theta: int | None = None,
+    ):
+        super().__init__()
+        if num_tables < 2:
+            raise ValueError(f"need >= 2 tables (bias + history), got {num_tables}")
+        self.num_tables = num_tables
+        self._entries_mask = table_entries - 1
+        if table_entries & self._entries_mask:
+            raise ValueError(f"table_entries must be a power of two, got {table_entries}")
+        self.history_bits = history_bits
+        self.path_bits = path_bits
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # Geometric-ish segment end points over the outcome history.
+        self._segments = self._geometric_segments(num_tables - 1, history_bits)
+        mean_segment = history_bits / (num_tables - 1)
+        self.theta = theta if theta is not None else int(1.93 * mean_segment + 14)
+        self._weights = [[0] * table_entries for _ in range(num_tables)]
+        self._outcome_history = 0
+        self._path_history = 0
+        # Cached between predict() and update() for the same branch.
+        self._last_indices: tuple[int, ...] | None = None
+        self._last_sum = 0
+
+    @staticmethod
+    def _geometric_segments(count: int, total_bits: int) -> tuple[int, ...]:
+        """End offsets of ``count`` history segments covering ``total_bits``.
+
+        Geometric spacing gives short segments fine resolution and long
+        segments reach, as in perceptron/TAGE-style predictors.
+        """
+        ratio = total_bits ** (1.0 / count)
+        ends = []
+        for i in range(1, count + 1):
+            end = max(int(round(ratio**i)), i)
+            ends.append(min(end, total_bits))
+        # Ensure strictly increasing coverage.
+        for i in range(1, count):
+            if ends[i] <= ends[i - 1]:
+                ends[i] = min(ends[i - 1] + 1, total_bits)
+        ends[-1] = total_bits
+        return tuple(ends)
+
+    def _indices(self, pc: int) -> tuple[int, ...]:
+        pc_hash = (pc >> 2) & ((1 << 30) - 1)
+        indices = [pc_hash & self._entries_mask]  # bias table
+        for end in self._segments:
+            outcome_segment = self._outcome_history & mask(end)
+            path_segment = self._path_history & mask(min(end, self.path_bits))
+            hashed = mix64(outcome_segment ^ (path_segment << 1), tweak=end) ^ pc_hash
+            indices.append(hashed & self._entries_mask)
+        return tuple(indices)
+
+    def predict(self, pc: int) -> bool:
+        indices = self._indices(pc)
+        total = sum(self._weights[t][indices[t]] for t in range(self.num_tables))
+        self._last_indices = indices
+        self._last_sum = total
+        return total >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        indices = self._last_indices
+        if indices is None:
+            indices = self._indices(pc)
+            self._last_sum = sum(
+                self._weights[t][indices[t]] for t in range(self.num_tables)
+            )
+        total = self._last_sum
+        self._last_indices = None
+        predicted_taken = total >= 0
+        # Perceptron training rule: update on misprediction or low confidence.
+        if predicted_taken != taken or abs(total) <= self.theta:
+            delta = 1 if taken else -1
+            for t in range(self.num_tables):
+                weight = self._weights[t][indices[t]] + delta
+                self._weights[t][indices[t]] = min(
+                    max(weight, self._weight_min), self._weight_max
+                )
+        self._outcome_history = (
+            (self._outcome_history << 1) | int(taken)
+        ) & mask(self.history_bits)
+        self._path_history = (
+            (self._path_history << 4) | ((pc >> 2) & 0xF)
+        ) & mask(self.path_bits)

@@ -1,0 +1,60 @@
+"""Return address stack.
+
+Returns resolve their targets from this stack, not from the BTB, which is
+why :attr:`repro.traces.record.BranchType.RETURN` does not allocate BTB
+entries in the front end.  Fixed depth with wrap-around overwrite, like
+hardware.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """Fixed-capacity circular return-address stack."""
+
+    def __init__(self, depth: int = 32):
+        if depth <= 0:
+            raise ValueError(f"RAS depth must be positive, got {depth}")
+        self.depth = depth
+        self._entries = [0] * depth
+        self._top = 0  # number of live entries, capped at depth
+        self._pos = 0  # next push slot (circular)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.correct_pops = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        self._entries[self._pos] = return_address
+        self._pos = (self._pos + 1) % self.depth
+        self._top = min(self._top + 1, self.depth)
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predict the target of a return; None when the stack is empty."""
+        self.pops += 1
+        if self._top == 0:
+            self.underflows += 1
+            return None
+        self._pos = (self._pos - 1) % self.depth
+        self._top -= 1
+        return self._entries[self._pos]
+
+    def pop_and_check(self, actual_target: int) -> bool:
+        """Pop and score the prediction against the real return target."""
+        predicted = self.pop()
+        correct = predicted == actual_target
+        if correct:
+            self.correct_pops += 1
+        return correct
+
+    @property
+    def occupancy(self) -> int:
+        return self._top
+
+    def clear(self) -> None:
+        self._top = 0
+        self._pos = 0

@@ -1,0 +1,34 @@
+"""Direction predictor registry (mirrors the policy registry)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.branch.base import BranchDirectionPredictor
+from repro.branch.bimodal import AlwaysTakenPredictor, BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.perceptron import HashedPerceptronPredictor
+
+__all__ = ["make_predictor", "available_predictors"]
+
+_REGISTRY: dict[str, Callable[..., BranchDirectionPredictor]] = {
+    AlwaysTakenPredictor.name: AlwaysTakenPredictor,
+    BimodalPredictor.name: BimodalPredictor,
+    GSharePredictor.name: GSharePredictor,
+    HashedPerceptronPredictor.name: HashedPerceptronPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs: object) -> BranchDirectionPredictor:
+    """Instantiate the direction predictor registered as ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown predictor {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_predictors() -> tuple[str, ...]:
+    """Sorted names of all registered direction predictors."""
+    return tuple(sorted(_REGISTRY))

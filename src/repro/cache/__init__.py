@@ -1,0 +1,25 @@
+"""Set-associative cache substrate.
+
+This package implements the cache machinery every experiment in the paper
+runs on: a set-associative array with pluggable replacement policies
+(:mod:`repro.policies`), bypass support, per-access statistics, and the
+live/dead-time efficiency tracking behind the paper's heat-map figures
+(Figures 1 and 5).
+
+The same engine backs both the instruction cache and (via
+:mod:`repro.btb`) the branch target buffer.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.cache.efficiency import EfficiencyTracker
+from repro.cache.set_assoc import AccessContext, AccessResult, SetAssociativeCache
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "EfficiencyTracker",
+    "AccessContext",
+    "AccessResult",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,132 @@
+"""The replacement-policy plug interface.
+
+The cache engine (:mod:`repro.cache.set_assoc`) is policy-agnostic: every
+decision about victimization, bypass, and recency bookkeeping is delegated
+to a :class:`ReplacementPolicy`.  Concrete policies (LRU, SRRIP, SDBP, GHRP,
+...) live in :mod:`repro.policies` and implement this interface.
+
+The interface is event-shaped the way the paper's Algorithm 1 is: the cache
+calls ``should_bypass`` and ``select_victim`` on misses, and ``on_hit`` /
+``on_fill`` / ``on_evict`` as the access proceeds, always passing an
+:class:`AccessContext` so predictive policies can see the PC driving the
+access.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cache.geometry import CacheGeometry
+
+__all__ = ["AccessContext", "ReplacementPolicy", "PolicyError"]
+
+
+class PolicyError(RuntimeError):
+    """Raised when a policy is used before being bound to a geometry."""
+
+
+@dataclass(frozen=True, slots=True)
+class AccessContext:
+    """Everything a policy may want to know about the access in flight.
+
+    Attributes
+    ----------
+    address:
+        The block-aligned address being accessed.
+    pc:
+        The program counter driving the access.  For the I-cache this is the
+        address of the first instruction fetched from the block; for the BTB
+        it is the branch PC.  Predictive policies hash it into signatures.
+    """
+
+    address: int
+    pc: int
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract replacement policy.
+
+    Lifecycle: construct, then :meth:`bind` to the owning structure's
+    geometry (which allocates per-set/per-way state), then receive event
+    callbacks.  A policy instance manages exactly one structure.
+
+    Subclasses must set the class attribute ``name`` (the registry key used
+    by the experiment harness and CLI).
+    """
+
+    name: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self._geometry: "CacheGeometry | None" = None
+        # Back-reference set by SetAssociativeCache after bind(); lets
+        # metadata-coupled policies (GHRP's BTB mode) probe their structure.
+        self.attached_cache: object | None = None
+
+    @property
+    def geometry(self) -> "CacheGeometry":
+        if self._geometry is None:
+            raise PolicyError(f"policy {type(self).__name__} used before bind()")
+        return self._geometry
+
+    @property
+    def is_bound(self) -> bool:
+        return self._geometry is not None
+
+    def bind(self, geometry: "CacheGeometry") -> None:
+        """Attach the policy to a structure and allocate its state."""
+        if self._geometry is not None:
+            raise PolicyError(f"policy {type(self).__name__} is already bound")
+        self._geometry = geometry
+        self._allocate_state(geometry)
+
+    @abc.abstractmethod
+    def _allocate_state(self, geometry: "CacheGeometry") -> None:
+        """Allocate per-set/per-way bookkeeping for ``geometry``."""
+
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """The access hit in ``way``; update recency/predictor state."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """A new block for ``ctx.address`` was placed in ``way``."""
+
+    def on_evict(self, set_index: int, way: int, victim_address: int) -> None:
+        """The valid block in ``way`` is about to be replaced.
+
+        Predictive policies train here (the block is now provably dead).
+        The default does nothing.
+        """
+
+    @abc.abstractmethod
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        """Choose the way to replace; every way in the set is valid.
+
+        Called only when the set is full — the cache engine fills invalid
+        ways itself, in way order, without consulting the policy.
+        """
+
+    def should_bypass(self, set_index: int, ctx: AccessContext) -> bool:
+        """Whether to bypass the missing block instead of placing it.
+
+        The default never bypasses; dead-block policies override this.
+        """
+        return False
+
+    def predicts_dead(self, set_index: int, way: int) -> bool:
+        """Whether the policy currently believes the block in ``way`` is dead.
+
+        Used for statistics and the efficiency analysis; non-predictive
+        policies report False.
+        """
+        return False
+
+    def reset_generation(self) -> None:
+        """Forget transient state between traces (keep learned tables).
+
+        The default does nothing; policies with path history override this
+        so that one trace's tail does not leak into the next trace's head.
+        """

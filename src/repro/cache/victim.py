@@ -1,0 +1,82 @@
+"""Victim cache extension.
+
+Section II-B of the paper discusses the Virtual Victim Cache (Khan et
+al.), which reuses predicted-dead frames as victim storage.  This module
+provides the classical ingredient: a small fully-associative victim
+buffer behind a main cache.  Evicted blocks drop into the buffer; a
+demand miss that hits the buffer swaps the block back, converting a full
+miss into a short-latency one.
+
+The wrapper leaves the main cache's statistics untouched (its misses are
+still misses); its own counters report how many of those misses the
+victim buffer covered — the quantity a conflict-miss study wants.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+
+__all__ = ["VictimBufferStats", "VictimCachedCache"]
+
+
+@dataclass(slots=True)
+class VictimBufferStats:
+    insertions: int = 0
+    hits: int = 0
+    probes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+class VictimCachedCache:
+    """A main cache plus a small fully-associative LRU victim buffer."""
+
+    def __init__(self, cache: SetAssociativeCache, victim_entries: int = 16):
+        if victim_entries < 1:
+            raise ValueError(f"victim_entries must be >= 1, got {victim_entries}")
+        self.cache = cache
+        self.victim_entries = victim_entries
+        # Ordered by recency: oldest first.
+        self._buffer: OrderedDict[int, None] = OrderedDict()
+        self.stats = VictimBufferStats()
+
+    def access(self, address: int, pc: int | None = None) -> AccessResult:
+        """Demand access; victim-buffer hits are visible in self.stats."""
+        block = self.cache.geometry.block_address(address)
+        result = self.cache.access(address, pc=pc)
+        if result.hit:
+            # The block cannot also be in the victim buffer (exclusive).
+            return result
+        self.stats.probes += 1
+        if block in self._buffer:
+            # Victim hit: the block was re-fetched from the buffer.
+            del self._buffer[block]
+            self.stats.hits += 1
+        if result.victim_address is not None:
+            self._insert_victim(result.victim_address)
+        return result
+
+    def _insert_victim(self, block: int) -> None:
+        self._buffer[block] = None
+        self._buffer.move_to_end(block)
+        self.stats.insertions += 1
+        while len(self._buffer) > self.victim_entries:
+            self._buffer.popitem(last=False)
+
+    @property
+    def covered_miss_fraction(self) -> float:
+        """Fraction of main-cache misses the victim buffer covered."""
+        return self.stats.hit_rate
+
+    def effective_misses(self) -> int:
+        """Main-cache misses not covered by the victim buffer."""
+        return self.cache.stats.misses - self.stats.hits
+
+    def contains(self, address: int) -> bool:
+        block = self.cache.geometry.block_address(address)
+        return self.cache.contains(address) or block in self._buffer

@@ -1,0 +1,250 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+- ``simulate``  — run one synthetic workload (or a trace file) under a
+  policy and print the result;
+- ``compare``   — run the paper's five policies on a workload and print a
+  comparison table;
+- ``suite``     — run the benchmark suite grid and print the headline
+  numbers (abstract-style);
+- ``timing``    — run the cycle-approximate timing model on a workload;
+- ``storage``   — print Table I (GHRP and modified-SDBP storage);
+- ``report``    — run a suite grid (with result caching) and write a
+  markdown report;
+- ``gen-trace`` — synthesize a workload and write it as a trace file;
+- ``characterize`` — reuse-distance + deadness analysis of a workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import figures
+from repro.experiments.runner import run_grid, run_workload
+from repro.frontend.config import FrontEndConfig
+from repro.policies.registry import available_policies
+from repro.traces.io import read_trace, write_trace
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_suite, make_workload
+
+__all__ = ["main"]
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--category",
+        choices=[c.value for c in Category],
+        default=Category.SHORT_SERVER.value,
+        help="workload category preset",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--trace-scale", type=float, default=1.0, help="trace length scale factor"
+    )
+    parser.add_argument("--trace", help="simulate this trace file instead of a synthetic workload")
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--icache-kb", type=int, default=64)
+    parser.add_argument("--icache-assoc", type=int, default=8)
+    parser.add_argument("--block-size", type=int, default=64)
+    parser.add_argument("--btb-entries", type=int, default=4096)
+    parser.add_argument("--btb-assoc", type=int, default=4)
+
+
+def _config_from(args: argparse.Namespace, policy: str) -> FrontEndConfig:
+    return FrontEndConfig(
+        icache_bytes=args.icache_kb * 1024,
+        icache_assoc=args.icache_assoc,
+        block_size=args.block_size,
+        btb_entries=args.btb_entries,
+        btb_assoc=args.btb_assoc,
+        icache_policy=policy,
+        btb_policy=policy,
+    )
+
+
+def _workload_from(args: argparse.Namespace):
+    category = Category(args.category)
+    return make_workload(
+        f"{category.value}-{args.seed}", category, seed=args.seed, trace_scale=args.trace_scale
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from(args, args.policy)
+    if args.trace:
+        from repro.frontend.engine import build_frontend
+
+        frontend = build_frontend(config)
+        result = frontend.run(read_trace(args.trace), warmup_instructions=args.warmup)
+    else:
+        workload = _workload_from(args)
+        result = run_workload(workload, config)
+    print(result.summary_line())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    grid = run_grid([workload], list(args.policies), _config_from(args, "lru"))
+    print(grid.icache.render(reference="lru"))
+    print()
+    print(grid.btb.render(reference="lru"))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
+    def progress(cell):
+        print(
+            f"  {cell.workload} / {cell.policy}: icache={cell.icache_mpki:.3f} "
+            f"btb={cell.btb_mpki:.3f} ({cell.elapsed_seconds:.1f}s)",
+            file=sys.stderr,
+        )
+    grid = run_grid(suite, list(args.policies), _config_from(args, "lru"), progress=progress)
+    print(figures.headline_numbers(grid).render())
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.timing import build_timed_frontend
+
+    workload = _workload_from(args)
+    frontend = build_timed_frontend(_config_from(args, args.policy))
+    warmup = min(workload.instruction_count() // 2, 200_000)
+    result = frontend.run(workload.records(), warmup_instructions=warmup)
+    print(result.render())
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    ghrp, sdbp = figures.table1_storage(
+        icache_bytes=args.icache_kb * 1024,
+        icache_assoc=args.icache_assoc,
+        block_size=args.block_size,
+    )
+    print(ghrp.render())
+    print()
+    print(sdbp.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_markdown import markdown_report
+    from repro.experiments.store import ResultStore, run_grid_cached
+
+    suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
+    config = _config_from(args, "lru")
+    store = ResultStore(args.store)
+
+    def progress(cell):
+        print(
+            f"  {cell.workload} / {cell.policy}: icache={cell.icache_mpki:.3f} "
+            f"({cell.elapsed_seconds:.1f}s)",
+            file=sys.stderr,
+        )
+
+    grid = run_grid_cached(suite, list(args.policies), config, store, progress=progress)
+    report = markdown_report(grid, title=f"GHRP reproduction report (seed {args.seed})")
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote report to {args.output} ({len(store)} cells cached in {args.store})")
+    return 0
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    count = write_trace(args.output, workload.records())
+    print(f"wrote {count} branch records to {args.output}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis import characterize_workload
+
+    workload = _workload_from(args)
+    report = characterize_workload(workload, max_branches=args.branches)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="GHRP reproduction: front-end replacement-policy simulator",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run one workload under one policy")
+    _add_workload_arguments(simulate)
+    _add_config_arguments(simulate)
+    simulate.add_argument("--policy", choices=available_policies(), default="ghrp")
+    simulate.add_argument("--warmup", type=int, default=100_000)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    compare = subparsers.add_parser("compare", help="compare policies on one workload")
+    _add_workload_arguments(compare)
+    _add_config_arguments(compare)
+    compare.add_argument(
+        "--policies", nargs="+", default=list(figures.PAPER_POLICIES),
+        choices=available_policies(),
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    suite = subparsers.add_parser("suite", help="run the suite and print headline numbers")
+    suite.add_argument("--seed", type=int, default=2018)
+    suite.add_argument("--trace-scale", type=float, default=1.0)
+    suite.add_argument(
+        "--policies", nargs="+", default=list(figures.PAPER_POLICIES),
+        choices=available_policies(),
+    )
+    _add_config_arguments(suite)
+    suite.set_defaults(func=_cmd_suite)
+
+    timing = subparsers.add_parser("timing", help="cycle-approximate CPI for one workload")
+    _add_workload_arguments(timing)
+    _add_config_arguments(timing)
+    timing.add_argument("--policy", choices=available_policies(), default="ghrp")
+    timing.set_defaults(func=_cmd_timing)
+
+    storage = subparsers.add_parser("storage", help="print Table I storage breakdowns")
+    _add_config_arguments(storage)
+    storage.set_defaults(func=_cmd_storage)
+
+    report = subparsers.add_parser("report", help="run a cached suite grid; write a markdown report")
+    report.add_argument("--seed", type=int, default=2018)
+    report.add_argument("--trace-scale", type=float, default=1.0)
+    report.add_argument("--policies", nargs="+", default=list(figures.PAPER_POLICIES),
+                        choices=available_policies())
+    report.add_argument("--store", default="results-store.json",
+                        help="JSON result cache (resumable)")
+    report.add_argument("--output", default="report.md")
+    _add_config_arguments(report)
+    report.set_defaults(func=_cmd_report)
+
+    gen = subparsers.add_parser("gen-trace", help="write a synthetic workload as a trace file")
+    _add_workload_arguments(gen)
+    gen.add_argument("output", help="output trace path")
+    gen.set_defaults(func=_cmd_gen_trace)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="reuse-distance and deadness analysis of a workload"
+    )
+    _add_workload_arguments(characterize)
+    characterize.add_argument("--branches", type=int, default=20_000)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

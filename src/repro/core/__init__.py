@@ -1,0 +1,37 @@
+"""GHRP — Global History Reuse Prediction (the paper's contribution).
+
+The core package implements the predictor machinery of Section III:
+
+- :mod:`repro.core.config` — every architectural parameter of GHRP
+  (history/signature widths, table geometry, thresholds) in one dataclass;
+- :mod:`repro.core.history` — the 16-bit global path history with the
+  speculative/retired split of Section III-F;
+- :mod:`repro.core.tables` — the bank of three skewed 2-bit counter tables
+  with majority-vote (and, for ablation, summation) aggregation;
+- :mod:`repro.core.ghrp` — :class:`GHRPPredictor`, tying history, signature
+  formula, and tables together;
+- :mod:`repro.core.storage` — the hardware storage accounting behind
+  Table I.
+
+The cache-facing replacement policy built on this predictor lives in
+:mod:`repro.policies.ghrp_policy`.
+"""
+
+from repro.core.config import GHRPConfig
+from repro.core.history import PathHistory
+from repro.core.tables import Aggregation, PredictionTableBank, Vote
+from repro.core.ghrp import GHRPPredictor
+from repro.core.storage import StorageBreakdown, StorageItem, ghrp_storage, sdbp_storage
+
+__all__ = [
+    "GHRPConfig",
+    "PathHistory",
+    "Aggregation",
+    "PredictionTableBank",
+    "Vote",
+    "GHRPPredictor",
+    "StorageBreakdown",
+    "StorageItem",
+    "ghrp_storage",
+    "sdbp_storage",
+]

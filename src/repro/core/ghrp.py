@@ -1,0 +1,89 @@
+"""The GHRP predictor engine.
+
+:class:`GHRPPredictor` owns the shared state of the mechanism — the global
+path history and the bank of skewed counter tables — and exposes the
+signature/predict/train operations of Algorithms 1-6.  Per-block metadata
+(stored signatures, prediction bits, LRU state) belongs to the structure
+using the predictor and lives in the replacement-policy adapters
+(:mod:`repro.policies.ghrp_policy`).
+
+One predictor instance is deliberately shareable: Section III-E's BTB
+adaptation reuses the I-cache's tables and history, "so BTB replacement
+comes with almost no additional overhead."
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GHRPConfig
+from repro.core.history import PathHistory
+from repro.core.tables import Aggregation, PredictionTableBank, Vote
+
+__all__ = ["GHRPPredictor"]
+
+
+class GHRPPredictor:
+    """Shared GHRP state: path history + prediction tables."""
+
+    def __init__(self, config: GHRPConfig | None = None):
+        self.config = config or GHRPConfig()
+        self.history = PathHistory(self.config)
+        self.tables = PredictionTableBank(
+            num_tables=self.config.num_tables,
+            index_bits=self.config.table_index_bits,
+            counter_bits=self.config.counter_bits,
+            aggregation=Aggregation(self.config.aggregation),
+            sum_threshold=self.config.sum_threshold,
+            initial_counter=self.config.initial_counter,
+        )
+
+    # ------------------------------------------------------------------
+    # Signature path (Algorithm 2)
+    # ------------------------------------------------------------------
+    def signature(self, pc: int) -> int:
+        """Signature of an access at ``pc`` under the current history."""
+        return self.history.signature(pc)
+
+    def note_access(self, pc: int, speculative: bool = False) -> None:
+        """Advance the path history past an access at ``pc``.
+
+        With ``speculative=True`` only the speculative history moves (the
+        access came from a predicted-but-not-yet-committed path); otherwise
+        both histories advance, which is the correct-path common case.
+        """
+        if speculative:
+            self.history.update_speculative(pc)
+        else:
+            self.history.update_both(pc)
+
+    def recover_history(self) -> None:
+        """Squash wrong-path history after a branch misprediction."""
+        self.history.recover()
+
+    # ------------------------------------------------------------------
+    # Prediction and training (Algorithms 3-6)
+    # ------------------------------------------------------------------
+    def predict_dead(self, signature: int, threshold: int | None = None) -> Vote:
+        """Majority-vote dead prediction for ``signature``."""
+        if threshold is None:
+            threshold = self.config.dead_threshold
+        return self.tables.predict(signature, threshold)
+
+    def predict_bypass(self, signature: int) -> Vote:
+        """Should the incoming block be bypassed? (higher threshold)."""
+        return self.tables.predict(signature, self.config.bypass_threshold)
+
+    def train(self, signature: int, is_dead: bool) -> None:
+        """Counter update: evictions are dead, reuses are live."""
+        self.tables.train(signature, is_dead)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def reset_history(self) -> None:
+        """Clear path history (between traces); learned counters persist."""
+        self.history.clear()
+
+    def reset(self) -> None:
+        """Full reset: history and counters."""
+        self.history.clear()
+        self.tables.reset()

@@ -1,0 +1,75 @@
+"""The global path history register.
+
+Algorithm 2 of the paper, including the speculative/retired split of
+Section III-F: the front end updates the *speculative* history with every
+fetch (using branch-predictor outcomes), retires branches into the
+*retired* history at commit, and restores speculative from retired when a
+branch misprediction is discovered.
+
+Update formula (Algorithm 2, line 1-2): on every access, shift the history
+left by four and insert the three lowest-order (word-aligned) PC bits
+followed by one zero bit.  The zero bit lets PC bits pass unmodified into
+the signature XOR, "yielding a useful hash of the history and PC".
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GHRPConfig
+from repro.util.bits import mask
+
+__all__ = ["PathHistory"]
+
+
+class PathHistory:
+    """Speculative + retired path history pair."""
+
+    def __init__(self, config: GHRPConfig):
+        self.config = config
+        self._mask = mask(config.history_bits)
+        self._pc_mask = mask(config.pc_bits_per_access)
+        self.speculative = 0
+        self.retired = 0
+
+    @staticmethod
+    def _updated(history: int, pc: int, config: GHRPConfig, history_mask: int, pc_mask: int) -> int:
+        pc_bits = (pc >> config.pc_shift) & pc_mask
+        # Three PC bits followed by one zero bit (hence the extra shift).
+        return ((history << config.history_shift) | (pc_bits << 1)) & history_mask
+
+    def update_speculative(self, pc: int) -> None:
+        """Fold a (possibly wrong-path) fetch address into the history."""
+        self.speculative = self._updated(
+            self.speculative, pc, self.config, self._mask, self._pc_mask
+        )
+
+    def update_retired(self, pc: int) -> None:
+        """Fold a committed access into the non-speculative history."""
+        self.retired = self._updated(self.retired, pc, self.config, self._mask, self._pc_mask)
+
+    def update_both(self, pc: int) -> None:
+        """Common case on the correct path: both histories advance together."""
+        self.update_speculative(pc)
+        self.update_retired(pc)
+
+    def recover(self) -> None:
+        """Branch misprediction: restore speculative from retired history.
+
+        This is the branch-prediction-style recovery the paper borrows from
+        speculative history management (Skadron et al.).
+        """
+        self.speculative = self.retired
+
+    def clear(self) -> None:
+        """Forget both histories (used between traces)."""
+        self.speculative = 0
+        self.retired = 0
+
+    def signature(self, pc: int) -> int:
+        """Signature for an access at ``pc`` (Algorithm 2, line 4).
+
+        XOR of the speculative history with the access PC; the zero bits
+        interleaved in the history let PC bits through unmodified.
+        """
+        return (self.speculative ^ (pc >> self.config.pc_shift)) & mask(
+            self.config.signature_bits
+        )

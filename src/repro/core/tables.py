@@ -1,0 +1,134 @@
+"""The bank of skewed prediction tables.
+
+GHRP banks its predictor into three tables of two-bit saturating counters,
+each indexed by a distinct hash of the signature (Algorithm 4), and
+aggregates the three thresholded counters by **majority vote** (Section
+III-C; Figure 4).  SDBP aggregates by **summation** instead; both modes are
+implemented here so the harness can ablate the paper's claim that majority
+vote wins for instruction streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.hashing import skewed_indices
+
+__all__ = ["Aggregation", "Vote", "PredictionTableBank"]
+
+
+class Aggregation(enum.Enum):
+    """How per-table votes are combined into one prediction."""
+
+    MAJORITY = "majority"
+    SUM = "sum"
+
+
+@dataclass(frozen=True, slots=True)
+class Vote:
+    """Outcome of one prediction: the decision plus its evidence."""
+
+    is_dead: bool
+    counters: tuple[int, ...]
+    votes_for_dead: int
+
+
+class PredictionTableBank:
+    """``num_tables`` tables of saturating counters with skewed indexing."""
+
+    def __init__(
+        self,
+        num_tables: int,
+        index_bits: int,
+        counter_bits: int,
+        aggregation: Aggregation = Aggregation.MAJORITY,
+        sum_threshold: int = 6,
+        initial_counter: int = 0,
+    ):
+        if num_tables < 1:
+            raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+        if aggregation is Aggregation.MAJORITY and num_tables % 2 == 0:
+            raise ValueError("majority vote needs an odd number of tables")
+        self.num_tables = num_tables
+        self.index_bits = index_bits
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        if not 0 <= initial_counter <= self.counter_max:
+            raise ValueError(
+                f"initial_counter ({initial_counter}) must fit in "
+                f"{counter_bits}-bit counters"
+            )
+        self.aggregation = aggregation
+        self.sum_threshold = sum_threshold
+        self.initial_counter = initial_counter
+        entries = 1 << index_bits
+        self._tables = [[initial_counter] * entries for _ in range(num_tables)]
+        # Signatures are narrow (16 bits), so memoizing the hash pipeline
+        # per signature is bounded and removes it from the simulation's
+        # hot path entirely.
+        self._index_cache: dict[int, tuple[int, ...]] = {}
+        # Training telemetry, reported by the experiment harness.
+        self.increments = 0
+        self.decrements = 0
+        self.predictions = 0
+
+    def indices(self, signature: int) -> tuple[int, ...]:
+        """Per-table indices for ``signature`` (Algorithm 2, ComputeIndices)."""
+        cached = self._index_cache.get(signature)
+        if cached is None:
+            cached = skewed_indices(signature, self.num_tables, self.index_bits)
+            self._index_cache[signature] = cached
+        return cached
+
+    def counters(self, indices: tuple[int, ...]) -> tuple[int, ...]:
+        """Read one counter per table (Algorithm 4, GetCounters)."""
+        return tuple(self._tables[t][indices[t]] for t in range(self.num_tables))
+
+    def predict(self, signature: int, threshold: int) -> Vote:
+        """Threshold each counter and aggregate (Algorithm 3 / Figure 4)."""
+        self.predictions += 1
+        counters = self.counters(self.indices(signature))
+        votes = sum(1 for counter in counters if counter >= threshold)
+        if self.aggregation is Aggregation.MAJORITY:
+            is_dead = votes > self.num_tables // 2
+        else:
+            is_dead = sum(counters) >= self.sum_threshold
+        return Vote(is_dead=is_dead, counters=counters, votes_for_dead=votes)
+
+    def train(self, signature: int, is_dead: bool) -> None:
+        """Update every table's counter (Algorithm 6, updatePredTables).
+
+        Increment on a proven-dead outcome (eviction), decrement on a
+        proven-live outcome (reuse); counters saturate at both ends.
+        """
+        for t, index in enumerate(self.indices(signature)):
+            table = self._tables[t]
+            value = table[index]
+            if is_dead:
+                if value < self.counter_max:
+                    table[index] = value + 1
+            else:
+                if value > 0:
+                    table[index] = value - 1
+        if is_dead:
+            self.increments += 1
+        else:
+            self.decrements += 1
+
+    def saturation_fraction(self, threshold: int) -> float:
+        """Fraction of all counters at or above ``threshold`` (diagnostics)."""
+        total = self.num_tables * (1 << self.index_bits)
+        above = sum(
+            1 for table in self._tables for value in table if value >= threshold
+        )
+        return above / total
+
+    def reset(self) -> None:
+        """Reset all counters to their initial value and clear telemetry."""
+        for table in self._tables:
+            for index in range(len(table)):
+                table[index] = self.initial_counter
+        self.increments = 0
+        self.decrements = 0
+        self.predictions = 0

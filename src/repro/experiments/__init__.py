@@ -1,0 +1,35 @@
+"""The experiment harness.
+
+Runs the policy x workload grids behind every table and figure in the
+paper's evaluation and renders them as terminal-friendly reports:
+
+- :mod:`repro.experiments.runner`: grid execution with the paper's
+  warm-up rule and per-cell result capture;
+- :mod:`repro.experiments.figures`: one generator per paper artifact
+  (fig1..fig11, table1, the headline numbers);
+- :mod:`repro.experiments.report`: shared text-rendering helpers.
+"""
+
+from repro.experiments.runner import (
+    CellResult,
+    GridResult,
+    run_cell,
+    run_grid,
+    run_workload,
+)
+from repro.experiments.store import ResultStore, run_grid_cached
+from repro.experiments.tuning import TuningResult, sweep_ghrp
+from repro.experiments import figures
+
+__all__ = [
+    "CellResult",
+    "GridResult",
+    "run_cell",
+    "run_grid",
+    "run_workload",
+    "ResultStore",
+    "run_grid_cached",
+    "TuningResult",
+    "sweep_ghrp",
+    "figures",
+]

@@ -1,0 +1,55 @@
+"""Shared text rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are fixed to ``precision``; everything else is str()'d.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (the terminal stand-in for bar figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty)"
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{label:<{label_width}}  {bar} {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Markdown experiment reports.
+
+Turns a :class:`~repro.experiments.runner.GridResult` into a complete
+markdown report — mean-MPKI tables, the Figure 8 CI analysis, the Figure
+9 win/loss counts, and the headline improvements — in the layout
+EXPERIMENTS.md uses.  Exposed through ``repro-sim report``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    fig8_relative_ci,
+    fig9_win_loss,
+    headline_numbers,
+)
+from repro.experiments.runner import GridResult
+from repro.stats.mpki import MPKITable
+
+__all__ = ["markdown_report"]
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _means_section(table: MPKITable, title: str, reference: str = "lru") -> str:
+    has_reference = reference in table.policies
+    reference_mean = table.mean(reference) if has_reference else 0.0
+    rows = []
+    for policy in table.policies:
+        mean = table.mean(policy)
+        change = (
+            f"{100.0 * (reference_mean - mean) / reference_mean:+.1f}%"
+            if has_reference and reference_mean
+            else "n/a"
+        )
+        rows.append([policy, f"{mean:.3f}", change])
+    return f"### {title}\n\n" + _markdown_table(
+        ["policy", "mean MPKI", f"reduction vs {reference}"], rows
+    )
+
+
+def _per_workload_section(table: MPKITable, title: str) -> str:
+    policies = table.policies
+    rows = []
+    for workload in table.workloads:
+        rows.append([workload] + [f"{table.get(p, workload):.3f}" for p in policies])
+    rows.append(["**mean**"] + [f"**{table.mean(p):.3f}**" for p in policies])
+    return f"### {title}\n\n" + _markdown_table(["workload"] + list(policies), rows)
+
+
+def markdown_report(grid: GridResult, title: str = "Replacement-policy study") -> str:
+    """Render a full markdown report for a simulation grid."""
+    icache = grid.icache
+    btb = grid.btb
+    sections = [f"# {title}", ""]
+    sections.append(
+        f"Grid: {len(icache.workloads)} workloads x {len(icache.policies)} policies."
+    )
+    sections.append("")
+    sections.append(_means_section(icache, "I-cache mean MPKI"))
+    sections.append("")
+    sections.append(_means_section(btb, "BTB mean MPKI"))
+    sections.append("")
+
+    non_reference = [p for p in icache.policies if p != "lru"]
+    if "lru" in icache.policies and non_reference:
+        sections.append("### Relative difference vs LRU (95% CI, I-cache)")
+        sections.append("")
+        rows = []
+        for result in fig8_relative_ci(icache, policies=non_reference):
+            rows.append(
+                [
+                    result.policy,
+                    f"{result.mean_percent:+.1f}%",
+                    f"[{100 * result.ci_low:+.1f}%, {100 * result.ci_high:+.1f}%]",
+                    str(result.sample_count),
+                ]
+            )
+        sections.append(_markdown_table(["policy", "mean", "95% CI", "n"], rows))
+        sections.append("")
+
+        sections.append("### Win / similar / loss vs LRU (I-cache)")
+        sections.append("")
+        rows = []
+        for result in fig9_win_loss(icache, policies=non_reference):
+            rows.append(
+                [result.policy, str(result.wins), str(result.ties), str(result.losses)]
+            )
+        sections.append(_markdown_table(["policy", "better", "similar", "worse"], rows))
+        sections.append("")
+
+        headline = headline_numbers(grid, policies=tuple(icache.policies))
+        sections.append("### Headline")
+        sections.append("")
+        best_icache = min(headline.icache_means, key=headline.icache_means.get)
+        best_btb = min(headline.btb_means, key=headline.btb_means.get)
+        sections.append(
+            f"- Best I-cache policy: **{best_icache}** "
+            f"({headline.improvement('icache', best_icache):+.1f}% vs LRU)"
+        )
+        sections.append(
+            f"- Best BTB policy: **{best_btb}** "
+            f"({headline.improvement('btb', best_btb):+.1f}% vs LRU)"
+        )
+        sections.append("")
+
+    sections.append(_per_workload_section(icache, "Per-workload I-cache MPKI"))
+    sections.append("")
+    sections.append(_per_workload_section(btb, "Per-workload BTB MPKI"))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,132 @@
+"""Grid execution: policies x workloads -> MPKI tables.
+
+The runner owns the methodology plumbing shared by every figure:
+
+- the paper's warm-up rule (half the trace's instructions, capped),
+- fresh front-end state per (policy, workload) cell,
+- capture of both I-cache and BTB MPKI (plus auxiliary statistics) so
+  one grid pass feeds both the I-cache figures and the BTB figures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import build_frontend
+from repro.stats.mpki import MPKITable
+from repro.workloads.suite import Workload
+
+__all__ = ["CellResult", "GridResult", "run_cell", "run_workload", "run_grid"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellResult:
+    """Measured outcome of one (policy, workload) simulation."""
+
+    policy: str
+    workload: str
+    icache_mpki: float
+    btb_mpki: float
+    icache_misses: int
+    btb_misses: int
+    instructions: int
+    branches: int
+    direction_accuracy: float
+    dead_evictions: int
+    bypasses: int
+    elapsed_seconds: float
+
+
+@dataclass(slots=True)
+class GridResult:
+    """All cells of a grid, with MPKI table views."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    def add(self, cell: CellResult) -> None:
+        self.cells.append(cell)
+
+    @property
+    def icache(self) -> MPKITable:
+        table = MPKITable()
+        for cell in self.cells:
+            table.set(cell.policy, cell.workload, cell.icache_mpki)
+        return table
+
+    @property
+    def btb(self) -> MPKITable:
+        table = MPKITable()
+        for cell in self.cells:
+            table.set(cell.policy, cell.workload, cell.btb_mpki)
+        return table
+
+    def cell(self, policy: str, workload: str) -> CellResult:
+        for candidate in self.cells:
+            if candidate.policy == policy and candidate.workload == workload:
+                return candidate
+        raise KeyError(f"no cell for ({policy!r}, {workload!r})")
+
+
+def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
+    """The paper's warm-up: half the trace, capped at a fixed budget."""
+    return min(
+        int(workload.instruction_count() * config.warmup_fraction),
+        config.warmup_cap_instructions,
+    )
+
+
+def run_workload(workload: Workload, config: FrontEndConfig):
+    """Simulate one workload under ``config``; returns SimulationResult."""
+    frontend = build_frontend(config)
+    return frontend.run(
+        workload.records(),
+        warmup_instructions=_warmup_for(workload, config),
+        max_instructions=config.max_instructions,
+    )
+
+
+def run_cell(workload: Workload, policy: str, config: FrontEndConfig) -> CellResult:
+    """Simulate one (policy, workload) cell with fresh front-end state."""
+    cell_config = config.with_overrides(icache_policy=policy, btb_policy=policy)
+    started = time.perf_counter()
+    frontend = build_frontend(cell_config)
+    result = frontend.run(
+        workload.records(),
+        warmup_instructions=_warmup_for(workload, cell_config),
+        max_instructions=cell_config.max_instructions,
+    )
+    return CellResult(
+        policy=policy,
+        workload=workload.name,
+        icache_mpki=result.icache_mpki,
+        btb_mpki=result.btb_mpki,
+        icache_misses=result.icache_measured.misses,
+        btb_misses=result.btb_measured.misses,
+        instructions=result.instructions,
+        branches=result.branches,
+        direction_accuracy=result.direction_accuracy,
+        dead_evictions=frontend.icache.stats.dead_evictions,
+        bypasses=frontend.icache.stats.bypasses,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_grid(
+    workloads: Sequence[Workload],
+    policies: Sequence[str],
+    config: FrontEndConfig | None = None,
+    progress: Callable[[CellResult], None] | None = None,
+) -> GridResult:
+    """Run every (policy, workload) cell; optionally report progress."""
+    config = config or FrontEndConfig()
+    grid = GridResult()
+    for workload in workloads:
+        for policy in policies:
+            cell = run_cell(workload, policy, config)
+            grid.add(cell)
+            if progress is not None:
+                progress(cell)
+    return grid

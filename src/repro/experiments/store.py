@@ -1,0 +1,123 @@
+"""Persistent result store for expensive simulation grids.
+
+Pure-Python simulation on one core is slow; re-running a 60-cell grid to
+tweak one figure is wasteful.  :class:`ResultStore` persists
+:class:`~repro.experiments.runner.CellResult` records in a JSON file,
+keyed by a fingerprint of (workload identity, policy, front-end
+configuration), so a grid can be resumed or extended incrementally.
+
+The fingerprint covers everything that affects the simulation:
+the workload's spec + seed (the trace is a pure function of those) and
+the FrontEndConfig dataclass fields.  Any change invalidates the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.experiments.runner import CellResult, GridResult, run_cell
+from repro.frontend.config import FrontEndConfig
+from repro.util.hashing import mix64
+from repro.workloads.suite import Workload
+
+__all__ = ["ResultStore", "run_grid_cached"]
+
+
+def _stable_fingerprint(payload: str) -> str:
+    """A short stable hash of a canonical string (not security-grade)."""
+    state = 0
+    for chunk_start in range(0, len(payload), 64):
+        chunk = payload[chunk_start:chunk_start + 64]
+        for char in chunk:
+            state = mix64(state ^ ord(char))
+    return f"{state:016x}"
+
+
+def _config_key(config: FrontEndConfig) -> str:
+    fields = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            value = dataclasses.asdict(value)
+        fields[field.name] = value
+    return json.dumps(fields, sort_keys=True, default=str)
+
+
+def _workload_key(workload: Workload) -> str:
+    spec = dataclasses.asdict(workload.spec)
+    spec["category"] = workload.spec.category.value
+    return json.dumps({"seed": workload.seed, "name": workload.name, "spec": spec},
+                      sort_keys=True, default=str)
+
+
+class ResultStore:
+    """JSON-backed cache of per-cell simulation results."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as handle:
+                self._records = json.load(handle)
+
+    def key_for(self, workload: Workload, policy: str, config: FrontEndConfig) -> str:
+        payload = _workload_key(workload) + "|" + policy + "|" + _config_key(config)
+        return _stable_fingerprint(payload)
+
+    def get(
+        self, workload: Workload, policy: str, config: FrontEndConfig
+    ) -> CellResult | None:
+        raw = self._records.get(self.key_for(workload, policy, config))
+        if raw is None:
+            return None
+        return CellResult(**raw)
+
+    def put(
+        self,
+        workload: Workload,
+        policy: str,
+        config: FrontEndConfig,
+        cell: CellResult,
+    ) -> None:
+        self._records[self.key_for(workload, policy, config)] = dataclasses.asdict(cell)
+
+    def save(self) -> None:
+        os.makedirs(self.path.parent, exist_ok=True)
+        tmp_path = self.path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._records, handle)
+        os.replace(tmp_path, self.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def run_grid_cached(
+    workloads: Sequence[Workload],
+    policies: Sequence[str],
+    config: FrontEndConfig,
+    store: ResultStore,
+    progress=None,
+) -> GridResult:
+    """run_grid with read-through caching into ``store``.
+
+    Cells already in the store are returned instantly; new cells are
+    simulated, recorded, and persisted (the store is saved after every
+    new cell, so an interrupted grid loses at most one simulation).
+    """
+    grid = GridResult()
+    for workload in workloads:
+        for policy in policies:
+            cell = store.get(workload, policy, config)
+            if cell is None:
+                cell = run_cell(workload, policy, config)
+                store.put(workload, policy, config, cell)
+                store.save()
+            grid.add(cell)
+            if progress is not None:
+                progress(cell)
+    return grid

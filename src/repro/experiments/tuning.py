@@ -1,0 +1,110 @@
+"""Parameter tuning sweeps.
+
+The paper repeatedly says thresholds were *tuned* ("Tuned dead block
+threshold to decrease number of false positives...").  This module makes
+that process a first-class, reproducible artifact: declare a grid of
+:class:`~repro.core.config.GHRPConfig` overrides, sweep it over a set of
+workloads, and get back a ranked table of mean MPKI (I-cache and BTB)
+per configuration.
+
+The repository's own `GHRPConfig.tuned_for_synthetic()` values were
+found with exactly this sweep shape (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import GHRPConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_workload
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.suite import Workload
+
+__all__ = ["TuningPoint", "TuningResult", "sweep_ghrp"]
+
+
+@dataclass(frozen=True, slots=True)
+class TuningPoint:
+    """One evaluated configuration."""
+
+    overrides: tuple[tuple[str, object], ...]
+    icache_mpki: float
+    btb_mpki: float
+
+    @property
+    def label(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in self.overrides) or "(base)"
+
+
+@dataclass(slots=True)
+class TuningResult:
+    """All evaluated points, ranked by I-cache MPKI."""
+
+    points: list[TuningPoint]
+
+    @property
+    def best(self) -> TuningPoint:
+        return min(self.points, key=lambda p: p.icache_mpki)
+
+    @property
+    def best_btb(self) -> TuningPoint:
+        return min(self.points, key=lambda p: p.btb_mpki)
+
+    def render(self) -> str:
+        rows = [
+            (point.label, point.icache_mpki, point.btb_mpki)
+            for point in sorted(self.points, key=lambda p: p.icache_mpki)
+        ]
+        return format_table(("configuration", "icache MPKI", "btb MPKI"), rows)
+
+
+def sweep_ghrp(
+    workloads: Sequence[Workload],
+    grid: Mapping[str, Sequence[object]],
+    base: GHRPConfig | None = None,
+    frontend_config: FrontEndConfig | None = None,
+) -> TuningResult:
+    """Evaluate every combination in ``grid`` of GHRPConfig overrides.
+
+    Parameters
+    ----------
+    workloads:
+        Workloads averaged per point (fresh front end per run).
+    grid:
+        Field name -> candidate values, e.g.
+        ``{"dead_threshold": [2, 3], "history_bits": [8, 16]}``.
+    base:
+        Starting configuration (default: the harness's tuned config).
+    frontend_config:
+        Front-end geometry; the policy fields are forced to GHRP.
+
+    Cost scales as ``prod(len(v)) * len(workloads)`` simulations — keep
+    grids small or workloads short.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one field")
+    base = base or GHRPConfig.tuned_for_synthetic()
+    frontend = (frontend_config or FrontEndConfig()).with_overrides(
+        icache_policy="ghrp", btb_policy="ghrp"
+    )
+    fields = sorted(grid)
+    points: list[TuningPoint] = []
+    for values in itertools.product(*(grid[field] for field in fields)):
+        overrides = dict(zip(fields, values))
+        config = base.with_overrides(**overrides)
+        icache_total = btb_total = 0.0
+        for workload in workloads:
+            result = run_workload(workload, frontend.with_overrides(ghrp=config))
+            icache_total += result.icache_mpki
+            btb_total += result.btb_mpki
+        points.append(
+            TuningPoint(
+                overrides=tuple(sorted(overrides.items())),
+                icache_mpki=icache_total / len(workloads),
+                btb_mpki=btb_total / len(workloads),
+            )
+        )
+    return TuningResult(points=points)

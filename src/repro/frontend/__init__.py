@@ -1,0 +1,15 @@
+"""The decoupled front-end simulator.
+
+Drives a branch trace through the full front end the paper models: fetch
+stream reconstruction -> I-cache accesses per fetched block, direction
+prediction for conditionals, return-address stack for returns, BTB
+accesses for taken branches, and GHRP's speculative path-history management
+(including optional wrong-path fetch simulation and misprediction
+recovery).
+"""
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import FrontEnd, build_frontend
+from repro.frontend.results import SimulationResult
+
+__all__ = ["FrontEndConfig", "FrontEnd", "build_frontend", "SimulationResult"]

@@ -1,0 +1,276 @@
+"""The front-end engine.
+
+Reconstructs the fetch-block stream from a branch trace (Section IV-A) and
+drives the I-cache, BTB, direction predictor, and return-address stack in
+program order.  GHRP's speculative machinery is wired through:
+
+- the GHRP policies advance the shared path history on every access they
+  see (Algorithm 2);
+- on a direction or target misprediction, the engine optionally simulates
+  ``wrong_path_depth`` blocks of wrong-path fetch (flagging the GHRP
+  policies so they do not train, per Section III-F), then restores the
+  speculative history from the retired one (:meth:`GHRPPredictor.
+  recover_history`).
+
+The engine is policy-agnostic: non-predictive policies simply ignore the
+wrong-path flag and see the same access stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.branch.base import BranchDirectionPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.registry import make_predictor
+from repro.btb.btb import BranchTargetBuffer
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import ReplacementPolicy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.ghrp import GHRPPredictor
+from repro.branch.indirect import IndirectTargetPredictor
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.results import SimulationResult
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.engine import PrefetchingICache
+from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
+from repro.policies.registry import make_policy
+from repro.traces.record import BranchRecord, BranchType
+from repro.traces.reconstruct import FetchBlockStream
+
+__all__ = ["FrontEnd", "build_frontend"]
+
+
+class FrontEnd:
+    """A complete front end: I-cache + BTB + direction predictor + RAS."""
+
+    def __init__(
+        self,
+        icache: SetAssociativeCache,
+        btb: BranchTargetBuffer,
+        direction: BranchDirectionPredictor,
+        ras: ReturnAddressStack,
+        ghrp: GHRPPredictor | None = None,
+        wrong_path_depth: int = 0,
+        prefetcher: Prefetcher | None = None,
+        indirect: IndirectTargetPredictor | None = None,
+    ):
+        self.icache = icache
+        self.btb = btb
+        self.direction = direction
+        self.ras = ras
+        self.ghrp = ghrp
+        self.wrong_path_depth = wrong_path_depth
+        self.wrong_path_accesses = 0
+        self.prefetcher = prefetcher
+        self.indirect = indirect
+        self._icache_port = (
+            PrefetchingICache(icache, prefetcher) if prefetcher is not None else icache
+        )
+        self._ghrp_policies = [
+            policy
+            for policy in (icache.policy, btb.policy)
+            if isinstance(policy, (GHRPPolicy, GHRPBTBPolicy))
+        ]
+
+    # ------------------------------------------------------------------
+    # Wrong-path speculation
+    # ------------------------------------------------------------------
+    def _simulate_wrong_path(self, wrong_next_pc: int) -> None:
+        """Fetch a few blocks down the not-taken (wrong) path.
+
+        The paper: "the I-cache and BTB may be updated according to
+        wrong-path cache accesses"; GHRP suppresses table training while
+        the wrong-path flag is up, then recovers its speculative history.
+        """
+        for policy in self._ghrp_policies:
+            if isinstance(policy, GHRPPolicy):
+                policy.wrong_path = True
+        block_size = self.icache.geometry.block_size
+        block = self.icache.geometry.block_address(wrong_next_pc)
+        for i in range(self.wrong_path_depth):
+            address = block + i * block_size
+            self.icache.access(address, pc=max(wrong_next_pc, address))
+            self.wrong_path_accesses += 1
+        for policy in self._ghrp_policies:
+            if isinstance(policy, GHRPPolicy):
+                policy.wrong_path = False
+        if self.ghrp is not None:
+            self.ghrp.recover_history()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        records: Iterable[BranchRecord],
+        warmup_instructions: int = 0,
+        max_instructions: int | None = None,
+    ) -> SimulationResult:
+        """Simulate ``records``; return post-warm-up and total statistics."""
+        icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
+        icache_port = self._icache_port
+        indirect = self.indirect
+        block_size = icache.geometry.block_size
+        stream = FetchBlockStream(records)
+        icache_warm = btb_warm = None
+        warmed_at = 0
+        simulate_wrong_path = self.wrong_path_depth > 0
+
+        for chunk in stream:
+            start_pc = chunk.start_pc
+            for block in chunk.block_addresses(block_size):
+                icache_port.access(block, pc=max(start_pc, block))
+
+            record = chunk.branch
+            branch_type = record.branch_type
+            mispredicted = False
+
+            if branch_type is BranchType.CONDITIONAL:
+                predicted = direction.predict_and_update(record.pc, record.taken)
+                mispredicted = predicted != record.taken
+            elif branch_type.is_call:
+                ras.push(record.pc + 4)
+            elif branch_type.is_return:
+                mispredicted = not ras.pop_and_check(record.target)
+
+            if indirect is not None:
+                if branch_type.is_indirect:
+                    if not indirect.predict_and_update(record.pc, record.target):
+                        mispredicted = True
+                indirect.note_branch(record.pc, record.taken)
+
+            if record.taken and branch_type.uses_btb:
+                btb_result = btb.access(record.pc, record.target)
+                if btb_result.hit and not btb_result.target_correct:
+                    mispredicted = True
+
+            if mispredicted and simulate_wrong_path:
+                wrong_next = record.pc + 4 if record.taken else record.target
+                self._simulate_wrong_path(wrong_next)
+
+            # Warm-up boundary: first crossing snapshots both structures.
+            if icache_warm is None and stream.instructions_seen >= warmup_instructions:
+                icache.stats.instructions = stream.instructions_seen
+                btb.stats.instructions = stream.instructions_seen
+                icache_warm = icache.stats.snapshot()
+                btb_warm = btb.stats.snapshot()
+                warmed_at = stream.instructions_seen
+
+            if max_instructions is not None and stream.instructions_seen >= max_instructions:
+                break
+
+        icache.stats.instructions = stream.instructions_seen
+        btb.stats.instructions = stream.instructions_seen
+        if icache_warm is None:
+            # Trace ended inside warm-up; measure everything instead of
+            # reporting an empty region.
+            icache_warm = type(icache.stats)()
+            btb_warm = type(btb.stats)()
+            warmed_at = 0
+        icache.finalize()
+        btb.finalize()
+
+        return SimulationResult(
+            instructions=stream.instructions_seen,
+            branches=stream.branches_seen,
+            warmup_instructions=warmed_at,
+            icache_total=icache.stats,
+            icache_measured=icache.stats.since(icache_warm),
+            btb_total=btb.stats,
+            btb_measured=btb.stats.since(btb_warm),
+            direction=direction.stats,
+            target_mispredictions=btb.target_mispredictions,
+            ras_underflows=ras.underflows,
+            wrong_path_accesses=self.wrong_path_accesses,
+            prefetch=self.prefetcher.stats if self.prefetcher is not None else None,
+            indirect=indirect.stats if indirect is not None else None,
+        )
+
+    def run_with_config_warmup(
+        self, records: Iterable[BranchRecord], config: FrontEndConfig, total_instructions_hint: int
+    ) -> SimulationResult:
+        """Run applying the paper's warm-up rule (half trace, capped)."""
+        warmup = min(
+            int(total_instructions_hint * config.warmup_fraction),
+            config.warmup_cap_instructions,
+        )
+        return self.run(
+            records,
+            warmup_instructions=warmup,
+            max_instructions=config.max_instructions,
+        )
+
+
+def _build_policies(
+    config: FrontEndConfig,
+) -> tuple[ReplacementPolicy, ReplacementPolicy, GHRPPredictor | None]:
+    """Construct the I-cache and BTB policies, wiring GHRP sharing.
+
+    When both structures use GHRP, they share one predictor and the BTB
+    policy is coupled to the I-cache policy's metadata (Section III-E).
+    A GHRP BTB without a GHRP I-cache runs in standalone mode.
+    """
+    icache_name = config.icache_policy
+    btb_name = config.effective_btb_policy
+    ghrp: GHRPPredictor | None = None
+    if "ghrp" in (icache_name, btb_name):
+        ghrp = GHRPPredictor(config.ghrp)
+
+    def build(name: str, for_btb: bool, icache_policy: ReplacementPolicy | None):
+        if name == "ghrp":
+            assert ghrp is not None
+            if for_btb:
+                coupled = icache_policy if isinstance(icache_policy, GHRPPolicy) else None
+                return GHRPBTBPolicy(predictor=ghrp, icache_policy=coupled)
+            return GHRPPolicy(predictor=ghrp)
+        if name == "sdbp":
+            return make_policy(name, config=config.sdbp)
+        if name == "random":
+            # Distinct, deterministic streams per structure.
+            return make_policy(name, seed=config.random_seed + (1 if for_btb else 0))
+        return make_policy(name)
+
+    icache_policy = build(icache_name, for_btb=False, icache_policy=None)
+    btb_policy = build(btb_name, for_btb=True, icache_policy=icache_policy)
+    return icache_policy, btb_policy, ghrp
+
+
+def build_frontend(config: FrontEndConfig | None = None) -> FrontEnd:
+    """Construct a complete front end from a configuration."""
+    config = config or FrontEndConfig()
+    icache_policy, btb_policy, ghrp = _build_policies(config)
+    geometry = CacheGeometry.from_capacity(
+        config.icache_bytes, config.icache_assoc, config.block_size
+    )
+    icache = SetAssociativeCache(
+        geometry, icache_policy, track_efficiency=config.track_efficiency
+    )
+    btb = BranchTargetBuffer(
+        config.btb_entries,
+        config.btb_assoc,
+        btb_policy,
+        track_efficiency=config.track_efficiency,
+    )
+    direction = make_predictor(config.direction_predictor)
+    ras = ReturnAddressStack(config.ras_depth)
+    prefetcher: Prefetcher | None = None
+    if config.prefetcher == "next-line":
+        from repro.prefetch.nextline import NextLinePrefetcher
+
+        prefetcher = NextLinePrefetcher(block_size=config.block_size)
+    elif config.prefetcher == "stream":
+        from repro.prefetch.stream import StreamPrefetcher
+
+        prefetcher = StreamPrefetcher(block_size=config.block_size)
+    indirect = IndirectTargetPredictor() if config.indirect_predictor else None
+    return FrontEnd(
+        icache=icache,
+        btb=btb,
+        direction=direction,
+        ras=ras,
+        ghrp=ghrp,
+        wrong_path_depth=config.wrong_path_depth,
+        prefetcher=prefetcher,
+        indirect=indirect,
+    )

@@ -1,0 +1,55 @@
+"""Replacement policies.
+
+Implements every policy the paper evaluates — LRU, Random, SRRIP, the
+modified SDBP, and GHRP — plus several classical and offline policies that
+round out the library (FIFO, NRU, Tree-PLRU, BRRIP/DRRIP, Belady's OPT).
+
+All policies implement :class:`repro.cache.policy_api.ReplacementPolicy` and
+are discoverable by name through :mod:`repro.policies.registry`.
+"""
+
+from repro.cache.policy_api import AccessContext, PolicyError, ReplacementPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.nru import NRUPolicy
+from repro.policies.plru import TreePLRUPolicy
+from repro.policies.srrip import SRRIPPolicy, BRRIPPolicy, DRRIPPolicy
+from repro.policies.opt import BeladyOptPolicy
+from repro.policies.deadblock import CounterDBPPolicy, ReferenceTracePolicy
+from repro.policies.dueling import SetDuelingPolicy
+from repro.policies.sdbp import SDBPConfig, SDBPPolicy
+from repro.policies.ship import SHiPPolicy
+from repro.policies.ghrp_policy import GHRPPolicy, GHRPBTBPolicy
+from repro.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "AccessContext",
+    "PolicyError",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "NRUPolicy",
+    "TreePLRUPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "BeladyOptPolicy",
+    "ReferenceTracePolicy",
+    "SetDuelingPolicy",
+    "CounterDBPPolicy",
+    "SDBPConfig",
+    "SDBPPolicy",
+    "SHiPPolicy",
+    "GHRPPolicy",
+    "GHRPBTBPolicy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,34 @@
+"""First-in, first-out replacement.
+
+One of the "nascent" policies Smith and Goodman evaluated for instruction
+caches; included as a classical baseline and for the policy-comparison
+examples.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, ReplacementPolicy
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the block that has been resident longest, ignoring reuse."""
+
+    name = "fifo"
+
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        self._fill_time = [[0] * geometry.associativity for _ in range(geometry.num_sets)]
+        self._clock = [0] * geometry.num_sets
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        pass  # FIFO ignores reuse by definition.
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._clock[set_index] += 1
+        self._fill_time[set_index][way] = self._clock[set_index]
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        ages = self._fill_time[set_index]
+        return min(range(len(ages)), key=ages.__getitem__)

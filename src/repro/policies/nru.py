@@ -1,0 +1,49 @@
+"""Not-recently-used replacement.
+
+The one-bit approximation of LRU used by several commercial cores.  Each
+block has a reference bit; a victim is any block with the bit clear, and
+when every bit in the set is set they are all cleared (except the block
+that just forced the reset).
+
+NRU is also the degenerate single-bit case of RRIP, which makes it a useful
+anchor point when studying :mod:`repro.policies.srrip`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, ReplacementPolicy
+
+__all__ = ["NRUPolicy"]
+
+
+class NRUPolicy(ReplacementPolicy):
+    """Evict the first block whose reference bit is clear."""
+
+    name = "nru"
+
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        self._referenced = [
+            [False] * geometry.associativity for _ in range(geometry.num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._mark(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._mark(set_index, way)
+
+    def _mark(self, set_index: int, way: int) -> None:
+        bits = self._referenced[set_index]
+        bits[way] = True
+        if all(bits):
+            for other in range(len(bits)):
+                bits[other] = other == way
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        bits = self._referenced[set_index]
+        for way, referenced in enumerate(bits):
+            if not referenced:
+                return way
+        # Unreachable given _mark's reset invariant, but stay safe.
+        return 0

@@ -1,0 +1,80 @@
+"""Belady's OPT: the offline-optimal replacement upper bound.
+
+Not part of the paper's evaluation, but indispensable when interpreting it:
+OPT bounds how much *any* replacement policy (GHRP included) could possibly
+save, so the harness can report what fraction of the LRU-to-OPT gap GHRP
+closes.
+
+OPT needs the future.  Feed it the complete block-access sequence up front
+(:meth:`BeladyOptPolicy.preload`); the policy then replays it, always
+evicting the resident block whose next use is farthest away (or never).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, PolicyError, ReplacementPolicy
+
+__all__ = ["BeladyOptPolicy"]
+
+_NEVER = float("inf")
+
+
+class BeladyOptPolicy(ReplacementPolicy):
+    """Offline optimal (farthest-next-use) replacement.
+
+    The access sequence supplied to :meth:`preload` must exactly match the
+    sequence of block addresses later presented to the cache; a divergence
+    raises :class:`~repro.cache.policy_api.PolicyError` rather than
+    silently producing a bogus "optimal" result.
+    """
+
+    name = "opt"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_use: dict[int, deque[int]] = {}
+        self._position = 0
+        self._resident: list[list[int]] = []
+        self._preloaded = False
+
+    def preload(self, block_addresses: list[int]) -> None:
+        """Record the full future access sequence (block addresses)."""
+        occurrences: dict[int, deque[int]] = defaultdict(deque)
+        for position, block in enumerate(block_addresses):
+            occurrences[block].append(position)
+        self._next_use = dict(occurrences)
+        self._position = 0
+        self._preloaded = True
+
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        self._resident = [[-1] * geometry.associativity for _ in range(geometry.num_sets)]
+
+    def _advance(self, block: int) -> None:
+        if not self._preloaded:
+            raise PolicyError("BeladyOptPolicy.preload() must be called before simulation")
+        queue = self._next_use.get(block)
+        if not queue or queue[0] != self._position:
+            raise PolicyError(
+                f"OPT access sequence diverged at position {self._position}: "
+                f"block {block:#x} was not the preloaded access"
+            )
+        queue.popleft()
+        self._position += 1
+
+    def _next_use_of(self, block: int) -> float:
+        queue = self._next_use.get(block)
+        return queue[0] if queue else _NEVER
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._advance(ctx.address)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._advance(ctx.address)
+        self._resident[set_index][way] = ctx.address
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        blocks = self._resident[set_index]
+        return max(range(len(blocks)), key=lambda way: self._next_use_of(blocks[way]))

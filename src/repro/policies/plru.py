@@ -1,0 +1,60 @@
+"""Tree pseudo-LRU replacement.
+
+The binary-tree LRU approximation found in most real L1 caches (including
+the I-caches the paper models after commercial cores).  Each set keeps
+``associativity - 1`` tree bits; a hit flips the bits on the path to the
+accessed way to point *away* from it, and the victim is found by following
+the bits from the root.
+
+Requires power-of-two associativity.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, ReplacementPolicy
+from repro.util.bits import is_power_of_two, log2_exact
+
+__all__ = ["TreePLRUPolicy"]
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU."""
+
+    name = "plru"
+
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        if not is_power_of_two(geometry.associativity):
+            raise ValueError(
+                f"tree PLRU needs power-of-two associativity, got {geometry.associativity}"
+            )
+        self._levels = log2_exact(geometry.associativity)
+        # Flat heap layout: node 0 is the root, children of i are 2i+1, 2i+2.
+        self._tree = [
+            [False] * (geometry.associativity - 1) for _ in range(geometry.num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._touch(set_index, way)
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Point every node on the way's root path at the *other* subtree."""
+        tree = self._tree[set_index]
+        node = 0
+        for level in range(self._levels - 1, -1, -1):
+            went_right = bool((way >> level) & 1)
+            tree[node] = not went_right
+            node = 2 * node + (2 if went_right else 1)
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        tree = self._tree[set_index]
+        node = 0
+        way = 0
+        for _ in range(self._levels):
+            go_right = tree[node]
+            way = (way << 1) | int(go_right)
+            node = 2 * node + (2 if go_right else 1)
+        return way

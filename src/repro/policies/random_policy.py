@@ -1,0 +1,36 @@
+"""Random replacement.
+
+The paper's worst-performing baseline ("Random performs poorly").  Victims
+are drawn from a :class:`~repro.util.rng.DeterministicRng` so results are
+reproducible from the policy's seed.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, ReplacementPolicy
+from repro.util.rng import DeterministicRng
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        super().__init__()
+        self._rng = DeterministicRng(seed)
+
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        self._associativity = geometry.associativity
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        pass  # Random keeps no recency state.
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        pass
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        return self._rng.randrange(self._associativity)

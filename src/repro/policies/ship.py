@@ -1,0 +1,98 @@
+"""SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011).
+
+The second PC-indexed predictor the paper discusses (Section II-A):
+"Our original intent was to apply PC-based dead block predictors such as
+SDBP and SHiP to instruction caches and BTBs ... set-sampling cannot
+generalize behavior ... as a given PC only accesses one set."
+
+SHiP steers SRRIP *insertion* with a Signature History Counter Table
+(SHCT): blocks inserted by signatures that historically see no reuse are
+inserted with the distant RRPV (so they leave quickly); everything else
+inserts long, as SRRIP would.  Like our modified SDBP, the default
+observes every set ("unsampled"), with an optional LLC-style sampled mode
+(``sample_stride > 1``) that reproduces the set-sampling failure.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext, ReplacementPolicy
+from repro.util.bits import mask
+
+__all__ = ["SHiPPolicy"]
+
+
+class SHiPPolicy(ReplacementPolicy):
+    """SHiP-PC over SRRIP-HP, with full observation by default."""
+
+    name = "ship"
+
+    def __init__(
+        self,
+        signature_bits: int = 14,
+        counter_bits: int = 3,
+        rrpv_bits: int = 2,
+        sample_stride: int = 1,
+    ):
+        super().__init__()
+        if sample_stride < 1:
+            raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
+        self._signature_mask = mask(signature_bits)
+        self._counter_max = (1 << counter_bits) - 1
+        self.rrpv_max = (1 << rrpv_bits) - 1
+        self.sample_stride = sample_stride
+        # SHCT: saturating counters, weakly reused initially.
+        self._shct = [1] * (1 << signature_bits)
+
+    # ------------------------------------------------------------------
+    def _allocate_state(self, geometry: CacheGeometry) -> None:
+        sets, ways = geometry.num_sets, geometry.associativity
+        self._rrpv = [[self.rrpv_max] * ways for _ in range(sets)]
+        self._sig = [[0] * ways for _ in range(sets)]
+        self._outcome = [[False] * ways for _ in range(sets)]  # reused yet?
+        self._observed = [s % self.sample_stride == 0 for s in range(sets)]
+
+    def _signature_of(self, pc: int) -> int:
+        return (pc >> 2) & self._signature_mask
+
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._rrpv[set_index][way] = 0  # hit promotion
+        if self._observed[set_index] and not self._outcome[set_index][way]:
+            self._outcome[set_index][way] = True
+            signature = self._sig[set_index][way]
+            if self._shct[signature] < self._counter_max:
+                self._shct[signature] += 1
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        signature = self._signature_of(ctx.pc)
+        self._sig[set_index][way] = signature
+        self._outcome[set_index][way] = False
+        # Zero SHCT => this signature's blocks never get reused: insert
+        # distant so they are the first victims.
+        if self._shct[signature] == 0:
+            self._rrpv[set_index][way] = self.rrpv_max
+        else:
+            self._rrpv[set_index][way] = self.rrpv_max - 1
+
+    def on_evict(self, set_index: int, way: int, victim_address: int) -> None:
+        if self._observed[set_index] and not self._outcome[set_index][way]:
+            signature = self._sig[set_index][way]
+            if self._shct[signature] > 0:
+                self._shct[signature] -= 1
+
+    def select_victim(self, set_index: int, ctx: AccessContext) -> int:
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way, value in enumerate(rrpvs):
+                if value == self.rrpv_max:
+                    return way
+            for way in range(len(rrpvs)):
+                rrpvs[way] += 1
+
+    def predicts_dead(self, set_index: int, way: int) -> bool:
+        """A distant-inserted, never-reused block is SHiP's 'dead' call."""
+        return (
+            self._rrpv[set_index][way] == self.rrpv_max
+            and not self._outcome[set_index][way]
+        )

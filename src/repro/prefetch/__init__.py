@@ -1,0 +1,26 @@
+"""Instruction prefetching substrate.
+
+The paper's related work (Section II-E) centers on I-cache prefetching
+(next-line, stream, and history-based schemes like SHIFT/Confluence);
+GHRP is positioned as orthogonal.  This package provides the two
+classical hardware prefetchers — next-line and stream — behind a small
+interface so they can be composed with any replacement policy, plus a
+usefulness tracker.
+
+Prefetches install blocks via
+:meth:`repro.cache.set_assoc.SetAssociativeCache.prefetch_fill`, which
+does not perturb demand hit/miss statistics.
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetchStats
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.engine import PrefetchingICache
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchStats",
+    "NextLinePrefetcher",
+    "StreamPrefetcher",
+    "PrefetchingICache",
+]

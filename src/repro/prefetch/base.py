@@ -1,0 +1,49 @@
+"""Prefetcher interface and statistics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+__all__ = ["PrefetchStats", "Prefetcher"]
+
+
+@dataclass(slots=True)
+class PrefetchStats:
+    """Usefulness accounting for one prefetcher instance."""
+
+    issued: int = 0
+    filled: int = 0
+    useful: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of filled prefetches that were referenced before
+        eviction (the standard prefetch-accuracy definition)."""
+        return self.useful / self.filled if self.filled else 0.0
+
+    @property
+    def redundant(self) -> int:
+        """Prefetches that targeted already-resident blocks."""
+        return self.issued - self.filled
+
+
+class Prefetcher(abc.ABC):
+    """Produces candidate block addresses from the demand access stream."""
+
+    name: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self.stats = PrefetchStats()
+
+    @abc.abstractmethod
+    def on_access(self, block_address: int, hit: bool) -> list[int]:
+        """Observe a demand access; return block addresses to prefetch.
+
+        ``block_address`` is block-aligned; returned candidates should be
+        block-aligned too (the engine aligns defensively).
+        """
+
+    def reset(self) -> None:
+        """Forget transient stream state (between traces)."""

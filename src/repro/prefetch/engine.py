@@ -1,0 +1,57 @@
+"""Prefetching I-cache wrapper.
+
+Couples a :class:`~repro.cache.set_assoc.SetAssociativeCache` with a
+:class:`~repro.prefetch.base.Prefetcher`, tracking prefetch usefulness:
+a filled prefetch is *useful* if the block is demand-referenced before
+being evicted.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+from repro.prefetch.base import Prefetcher
+
+__all__ = ["PrefetchingICache"]
+
+
+class PrefetchingICache:
+    """A demand cache plus a prefetcher with usefulness accounting."""
+
+    def __init__(self, cache: SetAssociativeCache, prefetcher: Prefetcher):
+        self.cache = cache
+        self.prefetcher = prefetcher
+        # Blocks resident due to an un-referenced prefetch.
+        self._pending: set[int] = set()
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def access(self, address: int, pc: int | None = None) -> AccessResult:
+        """Demand access; then let the prefetcher extend the fetch front."""
+        block = self.cache.geometry.block_address(address)
+        result = self.cache.access(address, pc=pc)
+        if block in self._pending:
+            self._pending.discard(block)
+            if result.hit:
+                # First demand touch while still resident: useful.  A miss
+                # means the prefetch was evicted before use — not useful.
+                self.prefetcher.stats.useful += 1
+
+        for candidate in self.prefetcher.on_access(block, result.hit):
+            candidate_block = self.cache.geometry.block_address(candidate)
+            self.prefetcher.stats.issued += 1
+            filled = self.cache.prefetch_fill(candidate_block, pc=candidate_block)
+            if filled:
+                self.prefetcher.stats.filled += 1
+                self._pending.add(candidate_block)
+        # Evicted-before-use prefetches: lazily prune pending blocks that
+        # are no longer resident (bounded cost: pending is small).
+        if len(self._pending) > 4 * self.cache.geometry.associativity:
+            self._pending = {
+                b for b in self._pending if self.cache.contains(b)
+            }
+        return result
+
+    def finalize(self) -> None:
+        self.cache.finalize()

@@ -1,0 +1,34 @@
+"""Next-line (sequential) prefetching.
+
+The oldest I-cache prefetcher: on a demand miss (optionally every
+access), fetch the next ``degree`` sequential blocks.  Instruction
+streams are sequential between branches, so even this simple scheme
+covers a useful fraction of cold and capacity misses.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+
+__all__ = ["NextLinePrefetcher"]
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` blocks after a trigger access."""
+
+    name = "next-line"
+
+    def __init__(self, block_size: int = 64, degree: int = 1, on_miss_only: bool = True):
+        super().__init__()
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.block_size = block_size
+        self.degree = degree
+        self.on_miss_only = on_miss_only
+
+    def on_access(self, block_address: int, hit: bool) -> list[int]:
+        if self.on_miss_only and hit:
+            return []
+        return [
+            block_address + i * self.block_size for i in range(1, self.degree + 1)
+        ]

@@ -1,0 +1,88 @@
+"""Stream prefetching.
+
+Tracks a small number of active sequential streams; when consecutive
+misses extend a stream, it launches ahead of the demand front.  The
+classic L1I/L2 stream buffer behaviour, folded into the prefetch-fill
+model (we install into the I-cache rather than modeling side buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prefetch.base import Prefetcher
+
+__all__ = ["StreamPrefetcher"]
+
+
+@dataclass(slots=True)
+class _Stream:
+    next_expected: int
+    confidence: int
+    last_launch: int
+
+
+class StreamPrefetcher(Prefetcher):
+    """Confidence-gated sequential stream detection.
+
+    Parameters
+    ----------
+    num_streams:
+        Concurrent streams tracked (LRU-replaced).
+    train_threshold:
+        Consecutive extensions required before launching prefetches.
+    degree:
+        Blocks fetched ahead once a stream is confirmed.
+    """
+
+    name = "stream"
+
+    def __init__(
+        self,
+        block_size: int = 64,
+        num_streams: int = 8,
+        train_threshold: int = 2,
+        degree: int = 4,
+    ):
+        super().__init__()
+        if num_streams < 1 or degree < 1 or train_threshold < 1:
+            raise ValueError("num_streams, degree, train_threshold must be >= 1")
+        self.block_size = block_size
+        self.num_streams = num_streams
+        self.train_threshold = train_threshold
+        self.degree = degree
+        self._streams: list[_Stream] = []
+
+    def on_access(self, block_address: int, hit: bool) -> list[int]:
+        if hit:
+            return []
+        step = self.block_size
+        for index, stream in enumerate(self._streams):
+            if block_address == stream.next_expected:
+                stream.confidence += 1
+                stream.next_expected = block_address + step
+                # Refresh LRU position.
+                self._streams.insert(0, self._streams.pop(index))
+                if stream.confidence >= self.train_threshold:
+                    first = max(stream.last_launch + step, block_address + step)
+                    candidates = [
+                        first + i * step
+                        for i in range(self.degree)
+                    ]
+                    stream.last_launch = candidates[-1]
+                    return candidates
+                return []
+        # New potential stream.
+        self._streams.insert(
+            0,
+            _Stream(
+                next_expected=block_address + step,
+                confidence=1,
+                last_launch=block_address,
+            ),
+        )
+        del self._streams[self.num_streams:]
+        return []
+
+    def reset(self) -> None:
+        self._streams.clear()

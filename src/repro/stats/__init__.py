@@ -1,0 +1,28 @@
+"""Statistics for the paper's evaluation figures.
+
+- :mod:`repro.stats.mpki`: MPKI aggregation across a suite (arithmetic
+  mean, the paper's choice, plus subsetting rules like the ">= 1 MPKI
+  under LRU" bucket).
+- :mod:`repro.stats.ci`: the mean-relative-difference-vs-LRU analysis with
+  a 95% confidence interval (Figure 8).
+- :mod:`repro.stats.winloss`: per-trace better/similar/worse-than-LRU
+  classification (Figure 9).
+- :mod:`repro.stats.scurve`: S-curve orderings (Figures 3 and 11).
+"""
+
+from repro.stats.mpki import MPKITable, mean_mpki, subset_at_least
+from repro.stats.ci import RelativeDifference, relative_difference_ci
+from repro.stats.winloss import WinLossTie, classify_win_loss
+from repro.stats.scurve import SCurve, scurve
+
+__all__ = [
+    "MPKITable",
+    "mean_mpki",
+    "subset_at_least",
+    "RelativeDifference",
+    "relative_difference_ci",
+    "WinLossTie",
+    "classify_win_loss",
+    "SCurve",
+    "scurve",
+]

@@ -1,0 +1,97 @@
+"""MPKI tables and aggregation.
+
+The harness's central data structure is an :class:`MPKITable`:
+``table[policy][workload] = mpki``.  The paper reports arithmetic-mean
+MPKI over the whole suite ("Arithmetic mean MPKI gives a good overall
+indication...") and over the subset of traces with at least 1 MPKI under
+LRU; both aggregations live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MPKITable", "mean_mpki", "subset_at_least"]
+
+
+@dataclass(slots=True)
+class MPKITable:
+    """MPKI results for a policy x workload grid."""
+
+    values: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def set(self, policy: str, workload: str, mpki: float) -> None:
+        self.values.setdefault(policy, {})[workload] = mpki
+
+    def get(self, policy: str, workload: str) -> float:
+        return self.values[policy][workload]
+
+    @property
+    def policies(self) -> list[str]:
+        return list(self.values)
+
+    @property
+    def workloads(self) -> list[str]:
+        """Workloads present for every policy (the comparable grid)."""
+        if not self.values:
+            return []
+        names: set[str] | None = None
+        for per_workload in self.values.values():
+            names = set(per_workload) if names is None else names & set(per_workload)
+        return sorted(names or ())
+
+    def row(self, policy: str) -> dict[str, float]:
+        return dict(self.values[policy])
+
+    def restricted(self, workloads: list[str]) -> "MPKITable":
+        """A new table containing only ``workloads``."""
+        keep = set(workloads)
+        table = MPKITable()
+        for policy, per_workload in self.values.items():
+            for workload, mpki in per_workload.items():
+                if workload in keep:
+                    table.set(policy, workload, mpki)
+        return table
+
+    def mean(self, policy: str) -> float:
+        return mean_mpki(self, policy)
+
+    def render(self, reference: str | None = None, precision: int = 3) -> str:
+        """ASCII table of per-policy means (and % change vs a reference)."""
+        lines = []
+        reference_mean = self.mean(reference) if reference else None
+        width = max((len(p) for p in self.policies), default=6) + 2
+        header = f"{'policy':<{width}} {'mean MPKI':>12}"
+        if reference_mean:
+            header += f" {'vs ' + reference:>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for policy in self.policies:
+            mean = self.mean(policy)
+            line = f"{policy:<{width}} {mean:>12.{precision}f}"
+            if reference_mean:
+                change = 100.0 * (mean - reference_mean) / reference_mean
+                line += f" {change:>+11.1f}%"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def mean_mpki(table: MPKITable, policy: str) -> float:
+    """Arithmetic-mean MPKI of ``policy`` over the comparable grid."""
+    workloads = table.workloads
+    if not workloads:
+        return 0.0
+    row = table.values[policy]
+    return sum(row[w] for w in workloads) / len(workloads)
+
+
+def subset_at_least(
+    table: MPKITable, threshold: float, reference: str = "lru"
+) -> list[str]:
+    """Workloads with at least ``threshold`` MPKI under the reference policy.
+
+    The paper's "subset of 123 benchmarks experiencing at least 1 MPKI
+    under the LRU policy".
+    """
+    row = table.values.get(reference, {})
+    return sorted(w for w in table.workloads if row.get(w, 0.0) >= threshold)

@@ -1,0 +1,63 @@
+"""S-curve data (Figures 3 and 11).
+
+The paper's S-curves plot per-benchmark MPKI for every policy with the
+x-axis ordered by the LRU MPKI ("the horizontal axis shows the benchmarks
+in the order of sorted MPKI for LRU").  :func:`scurve` produces exactly
+that ordering plus per-policy series; :meth:`SCurve.render_ascii` draws a
+log-scale terminal approximation of the figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.stats.mpki import MPKITable
+
+__all__ = ["SCurve", "scurve"]
+
+
+@dataclass(frozen=True, slots=True)
+class SCurve:
+    """Per-policy MPKI series over a shared workload ordering."""
+
+    order: tuple[str, ...]
+    series: dict[str, tuple[float, ...]]
+    reference: str
+
+    def render_ascii(self, height: int = 12, max_width: int = 100) -> str:
+        """Log-scale ASCII S-curve; one letter per policy."""
+        workloads = self.order[:max_width]
+        if not workloads:
+            return "(empty)"
+        letters = {p: p[0].upper() for p in self.series}
+        floor = 0.01
+        all_values = [
+            max(v, floor) for s in self.series.values() for v in s[: len(workloads)]
+        ]
+        lo = math.log10(min(all_values))
+        hi = math.log10(max(all_values))
+        span = max(hi - lo, 1e-6)
+        grid = [[" "] * len(workloads) for _ in range(height)]
+        for policy, values in self.series.items():
+            for x, value in enumerate(values[: len(workloads)]):
+                y = int((math.log10(max(value, floor)) - lo) / span * (height - 1))
+                row = height - 1 - y
+                cell = grid[row][x]
+                grid[row][x] = "*" if cell not in (" ", letters[policy]) else letters[policy]
+        legend = "  ".join(f"{letters[p]}={p}" for p in self.series)
+        lines = ["".join(row) for row in grid]
+        lines.append("-" * len(workloads))
+        lines.append(f"x: workloads ordered by {self.reference} MPKI | y: log10 MPKI | {legend}")
+        return "\n".join(lines)
+
+
+def scurve(table: MPKITable, reference: str = "lru") -> SCurve:
+    """Order workloads by the reference policy's MPKI; emit all series."""
+    reference_row = table.values[reference]
+    order = tuple(sorted(table.workloads, key=lambda w: reference_row[w]))
+    series = {
+        policy: tuple(table.values[policy][w] for w in order)
+        for policy in table.policies
+    }
+    return SCurve(order=order, series=series, reference=reference)

@@ -1,0 +1,67 @@
+"""Per-trace win/loss/tie classification (Figure 9).
+
+Figure 9 counts, per policy, the traces on which the policy is better
+than, similar to, or worse than LRU — e.g. GHRP "benefits 83% of traces
+... being similar to LRU for 14% ... while only harming 2%".
+
+"Similar" is defined by a relative tolerance band around the reference
+MPKI (plus an absolute epsilon so that two nearly-zero MPKIs compare as
+similar rather than as a huge ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.mpki import MPKITable
+
+__all__ = ["WinLossTie", "classify_win_loss"]
+
+
+@dataclass(frozen=True, slots=True)
+class WinLossTie:
+    """Counts of traces where a policy beats/ties/loses to the reference."""
+
+    policy: str
+    reference: str
+    wins: int
+    ties: int
+    losses: int
+
+    @property
+    def total(self) -> int:
+        return self.wins + self.ties + self.losses
+
+    def fraction(self, kind: str) -> float:
+        count = {"wins": self.wins, "ties": self.ties, "losses": self.losses}[kind]
+        return count / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        return (
+            f"{self.policy}: better on {self.wins}, similar on {self.ties}, "
+            f"worse on {self.losses} of {self.total} traces (vs {self.reference})"
+        )
+
+
+def classify_win_loss(
+    table: MPKITable,
+    policy: str,
+    reference: str = "lru",
+    relative_tolerance: float = 0.02,
+    absolute_tolerance: float = 0.005,
+) -> WinLossTie:
+    """Classify every workload as a win, tie, or loss for ``policy``."""
+    reference_row = table.values[reference]
+    policy_row = table.values[policy]
+    wins = ties = losses = 0
+    for workload in table.workloads:
+        ref = reference_row[workload]
+        val = policy_row[workload]
+        band = max(relative_tolerance * ref, absolute_tolerance)
+        if abs(val - ref) <= band:
+            ties += 1
+        elif val < ref:
+            wins += 1
+        else:
+            losses += 1
+    return WinLossTie(policy=policy, reference=reference, wins=wins, ties=ties, losses=losses)

@@ -1,0 +1,18 @@
+"""Cycle-approximate front-end timing model.
+
+The paper's simulator "is not cycle accurate, so we use misses per 1000
+instructions (MPKI) as our figure of merit.  For a given benchmark, MPKI
+is roughly proportional to cycles per instruction (CPI)."  This package
+closes that loop: a simple, documented timing model that converts the
+front end's event counts into cycles, with a unified L2 behind the
+I-cache, so users can see MPKI differences as CPI differences.
+
+It is intentionally a *first-order* model (fixed latencies, no MLP or
+overlap modeling); see :class:`repro.timing.config.TimingConfig` for the
+knobs and their defaults.
+"""
+
+from repro.timing.config import TimingConfig
+from repro.timing.model import TimedFrontEnd, TimingResult, build_timed_frontend
+
+__all__ = ["TimingConfig", "TimedFrontEnd", "TimingResult", "build_timed_frontend"]

@@ -1,0 +1,57 @@
+"""Timing model parameters.
+
+Latency defaults approximate a mobile/server core of the paper's era
+(Exynos-M1-class): 4-wide fetch/issue, a 12-cycle L2, ~100-cycle memory,
+and the usual low-teens branch misprediction penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimingConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingConfig:
+    """Latency/width parameters for the first-order CPI model.
+
+    Attributes
+    ----------
+    issue_width:
+        Sustained instructions per cycle with a perfect front end; the
+        base cycle cost is ``instructions / issue_width``.
+    l2_hit_latency:
+        Cycles an I-cache miss stalls fetch when the block hits in L2.
+    memory_latency:
+        Cycles when the block misses L2 too.
+    btb_miss_penalty:
+        Re-fetch bubble when a taken branch has no BTB entry (the target
+        is computed late).
+    mispredict_penalty:
+        Pipeline flush cost of a direction/target/return misprediction.
+    l2_bytes / l2_assoc:
+        Unified L2 geometry backing the I-cache (64B lines).
+    """
+
+    issue_width: int = 4
+    l2_hit_latency: int = 12
+    memory_latency: int = 100
+    btb_miss_penalty: int = 8
+    mispredict_penalty: int = 14
+    l2_bytes: int = 512 * 1024
+    l2_assoc: int = 8
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError(f"issue_width must be >= 1, got {self.issue_width}")
+        for label, value in (
+            ("l2_hit_latency", self.l2_hit_latency),
+            ("memory_latency", self.memory_latency),
+            ("btb_miss_penalty", self.btb_miss_penalty),
+            ("mispredict_penalty", self.mispredict_penalty),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        if self.memory_latency < self.l2_hit_latency:
+            raise ValueError("memory_latency must be >= l2_hit_latency")

@@ -1,0 +1,212 @@
+"""The timed front end.
+
+Extends the functional front-end loop with cycle accounting and a unified
+L2 behind the I-cache.  Event costs:
+
+- each instruction costs ``1 / issue_width`` cycles at steady state;
+- an I-cache miss stalls fetch for the L2 (or memory) latency — bypassed
+  fills pay the same latency, they just do not allocate;
+- a taken branch that misses the BTB pays a re-fetch bubble;
+- direction mispredictions, indirect-target mispredictions, and return
+  mispredictions pay the flush penalty.
+
+This is deliberately first-order (no overlap between stall sources), so
+cycle counts are upper-bound-flavoured; *differences between policies*
+are what the model is for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.branch.registry import make_predictor
+from repro.branch.ras import ReturnAddressStack
+from repro.btb.btb import BranchTargetBuffer
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import _build_policies
+from repro.policies.lru import LRUPolicy
+from repro.timing.config import TimingConfig
+from repro.traces.record import BranchRecord, BranchType
+from repro.traces.reconstruct import FetchBlockStream
+
+__all__ = ["TimingResult", "TimedFrontEnd", "build_timed_frontend"]
+
+
+@dataclass(slots=True)
+class TimingResult:
+    """Cycle accounting for one run."""
+
+    instructions: int
+    cycles: float
+    base_cycles: float
+    icache_stall_cycles: float
+    btb_bubble_cycles: float
+    mispredict_cycles: float
+    icache_mpki: float
+    btb_mpki: float
+    l2_misses: int
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"instructions      {self.instructions}",
+            f"cycles            {self.cycles:.0f}",
+            f"CPI               {self.cpi:.4f}   (IPC {self.ipc:.3f})",
+            f"  base            {self.base_cycles:.0f}",
+            f"  icache stalls   {self.icache_stall_cycles:.0f}",
+            f"  btb bubbles     {self.btb_bubble_cycles:.0f}",
+            f"  flush penalties {self.mispredict_cycles:.0f}",
+            f"icache MPKI       {self.icache_mpki:.3f}",
+            f"btb MPKI          {self.btb_mpki:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+class TimedFrontEnd:
+    """Front end with an L2 and first-order cycle accounting."""
+
+    def __init__(self, config: FrontEndConfig, timing: TimingConfig | None = None):
+        self.config = config
+        self.timing = timing or TimingConfig()
+        icache_policy, btb_policy, self.ghrp = _build_policies(config)
+        self.icache = SetAssociativeCache(
+            CacheGeometry.from_capacity(
+                config.icache_bytes, config.icache_assoc, config.block_size
+            ),
+            icache_policy,
+        )
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_assoc, btb_policy)
+        self.l2 = SetAssociativeCache(
+            CacheGeometry.from_capacity(
+                self.timing.l2_bytes, self.timing.l2_assoc, config.block_size
+            ),
+            LRUPolicy(),
+        )
+        self.direction = make_predictor(config.direction_predictor)
+        self.ras = ReturnAddressStack(config.ras_depth)
+
+    def run(
+        self,
+        records: Iterable[BranchRecord],
+        warmup_instructions: int = 0,
+        max_instructions: int | None = None,
+    ) -> TimingResult:
+        """Simulate and account cycles over the post-warm-up region."""
+        timing = self.timing
+        block_size = self.icache.geometry.block_size
+        stream = FetchBlockStream(records)
+
+        icache_stalls = 0.0
+        btb_bubbles = 0.0
+        flushes = 0.0
+        measured_from = None  # instruction count at warm-up end
+        counters_at_warm = None
+
+        def snapshot():
+            return (
+                icache_stalls,
+                btb_bubbles,
+                flushes,
+                self.icache.stats.snapshot(),
+                self.btb.stats.snapshot(),
+                stream.instructions_seen,
+            )
+
+        for chunk in stream:
+            start_pc = chunk.start_pc
+            for block in chunk.block_addresses(block_size):
+                result = self.icache.access(block, pc=max(start_pc, block))
+                if result.miss:
+                    l2_result = self.l2.access(block)
+                    icache_stalls += (
+                        timing.l2_hit_latency if l2_result.hit else timing.memory_latency
+                    )
+
+            record = chunk.branch
+            branch_type = record.branch_type
+            mispredicted = False
+            if branch_type is BranchType.CONDITIONAL:
+                predicted = self.direction.predict_and_update(record.pc, record.taken)
+                mispredicted = predicted != record.taken
+            elif branch_type.is_call:
+                self.ras.push(record.pc + 4)
+            elif branch_type.is_return:
+                mispredicted = not self.ras.pop_and_check(record.target)
+
+            if record.taken and branch_type.uses_btb:
+                btb_result = self.btb.access(record.pc, record.target)
+                if btb_result.miss:
+                    btb_bubbles += timing.btb_miss_penalty
+                elif not btb_result.target_correct:
+                    mispredicted = True
+
+            if mispredicted:
+                flushes += timing.mispredict_penalty
+                if self.ghrp is not None:
+                    self.ghrp.recover_history()
+
+            if counters_at_warm is None and stream.instructions_seen >= warmup_instructions:
+                counters_at_warm = snapshot()
+            if max_instructions is not None and stream.instructions_seen >= max_instructions:
+                break
+
+        if counters_at_warm is None:
+            counters_at_warm = (0.0, 0.0, 0.0, type(self.icache.stats)(), type(self.btb.stats)(), 0)
+
+        (
+            warm_icache_stalls,
+            warm_btb_bubbles,
+            warm_flushes,
+            warm_icache,
+            warm_btb,
+            warm_instructions,
+        ) = counters_at_warm
+
+        instructions = stream.instructions_seen - warm_instructions
+        self.icache.stats.instructions = stream.instructions_seen
+        self.btb.stats.instructions = stream.instructions_seen
+        icache_measured = self.icache.stats.since(warm_icache)
+        btb_measured = self.btb.stats.since(warm_btb)
+        icache_measured.instructions = instructions
+        btb_measured.instructions = instructions
+
+        base_cycles = instructions / timing.issue_width
+        stall = icache_stalls - warm_icache_stalls
+        bubble = btb_bubbles - warm_btb_bubbles
+        flush = flushes - warm_flushes
+        cycles = base_cycles + stall + bubble + flush
+        return TimingResult(
+            instructions=instructions,
+            cycles=cycles,
+            base_cycles=base_cycles,
+            icache_stall_cycles=stall,
+            btb_bubble_cycles=bubble,
+            mispredict_cycles=flush,
+            icache_mpki=icache_measured.mpki,
+            btb_mpki=btb_measured.mpki,
+            l2_misses=self.l2.stats.misses,
+            breakdown={
+                "base": base_cycles,
+                "icache": stall,
+                "btb": bubble,
+                "flush": flush,
+            },
+        )
+
+
+def build_timed_frontend(
+    config: FrontEndConfig | None = None, timing: TimingConfig | None = None
+) -> TimedFrontEnd:
+    """Construct a timed front end (functional front end + L2 + cycles)."""
+    return TimedFrontEnd(config or FrontEndConfig(), timing)

@@ -1,0 +1,196 @@
+"""Trace serialization.
+
+Two interchangeable formats:
+
+- a compact **binary** format (magic + version header, one fixed-width little
+  endian record per branch) sized for multi-million-branch traces, and
+- a **text** format (one branch per line) for debugging and for writing
+  traces by hand in tests.
+
+Both are streaming: readers yield records lazily so traces never need to fit
+in memory, mirroring how the CBP-5 harness consumes its traces.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import BinaryIO, TextIO
+
+from repro.traces.record import BranchRecord, BranchType
+
+__all__ = [
+    "TraceFormatError",
+    "TraceWriter",
+    "TraceReader",
+    "write_trace",
+    "read_trace",
+    "write_trace_text",
+    "read_trace_text",
+]
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHH")  # magic, version, reserved
+# pc (8 bytes), target (8 bytes), type (1 byte), taken (1 byte)
+_RECORD = struct.Struct("<QQBB")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+class TraceWriter:
+    """Streaming writer for the binary trace format.
+
+    Usable as a context manager::
+
+        with TraceWriter.open(path) as writer:
+            for record in records:
+                writer.write(record)
+    """
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self._count = 0
+        stream.write(_HEADER.pack(_MAGIC, _VERSION, 0))
+
+    @classmethod
+    def open(cls, path: str | Path) -> "TraceWriter":
+        """Open ``path`` for writing; ``.gz`` suffixes enable compression."""
+        if str(path).endswith(".gz"):
+            return cls(gzip.open(path, "wb"))
+        return cls(open(path, "wb"))
+
+    @property
+    def count(self) -> int:
+        """Number of records written so far."""
+        return self._count
+
+    def write(self, record: BranchRecord) -> None:
+        self._stream.write(
+            _RECORD.pack(record.pc, record.target, int(record.branch_type), int(record.taken))
+        )
+        self._count += 1
+
+    def write_all(self, records: Iterable[BranchRecord]) -> int:
+        for record in records:
+            self.write(record)
+        return self._count
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streaming reader for the binary trace format."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("trace file truncated before header")
+        magic, version, _reserved = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"bad trace magic {magic!r}")
+        if version != _VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+
+    @classmethod
+    def open(cls, path: str | Path) -> "TraceReader":
+        """Open ``path`` for reading; ``.gz`` suffixes are decompressed."""
+        if str(path).endswith(".gz"):
+            return cls(gzip.open(path, "rb"))
+        return cls(open(path, "rb"))
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        record_size = _RECORD.size
+        while True:
+            raw = self._stream.read(record_size)
+            if not raw:
+                return
+            if len(raw) != record_size:
+                raise TraceFormatError("trace file truncated mid-record")
+            pc, target, type_value, taken = _RECORD.unpack(raw)
+            try:
+                branch_type = BranchType(type_value)
+            except ValueError as exc:
+                raise TraceFormatError(f"unknown branch type {type_value}") from exc
+            yield BranchRecord(pc=pc, branch_type=branch_type, taken=bool(taken), target=target)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(path: str | Path, records: Iterable[BranchRecord]) -> int:
+    """Write ``records`` to ``path`` in the binary format; return the count."""
+    with TraceWriter.open(path) as writer:
+        return writer.write_all(records)
+
+
+def read_trace(path: str | Path) -> Iterator[BranchRecord]:
+    """Lazily yield the records of the binary trace at ``path``."""
+    with TraceReader.open(path) as reader:
+        yield from reader
+
+
+def write_trace_text(stream_or_path: TextIO | str | Path, records: Iterable[BranchRecord]) -> int:
+    """Write records in the one-line-per-branch text format.
+
+    Format: ``<pc-hex> <type-name> <T|N> <target-hex>``, e.g.::
+
+        0x1000 CONDITIONAL T 0x1040
+    """
+    if isinstance(stream_or_path, (str, Path)):
+        with open(stream_or_path, "w", encoding="utf-8") as stream:
+            return write_trace_text(stream, records)
+    count = 0
+    for record in records:
+        direction = "T" if record.taken else "N"
+        stream_or_path.write(
+            f"{record.pc:#x} {record.branch_type.name} {direction} {record.target:#x}\n"
+        )
+        count += 1
+    return count
+
+
+def read_trace_text(stream_or_path: TextIO | str | Path) -> Iterator[BranchRecord]:
+    """Lazily parse the text trace format; blank lines and ``#`` comments ok."""
+    if isinstance(stream_or_path, (str, Path)):
+        with open(stream_or_path, "r", encoding="utf-8") as stream:
+            yield from read_trace_text(stream)
+            return
+    for line_number, line in enumerate(stream_or_path, start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceFormatError(f"line {line_number}: expected 4 fields, got {len(parts)}")
+        pc_text, type_name, direction, target_text = parts
+        try:
+            branch_type = BranchType[type_name]
+        except KeyError as exc:
+            raise TraceFormatError(f"line {line_number}: unknown branch type {type_name!r}") from exc
+        if direction not in ("T", "N"):
+            raise TraceFormatError(f"line {line_number}: direction must be T or N, got {direction!r}")
+        try:
+            pc = int(pc_text, 0)
+            target = int(target_text, 0)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: bad address") from exc
+        yield BranchRecord(pc=pc, branch_type=branch_type, taken=direction == "T", target=target)

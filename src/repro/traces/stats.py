@@ -1,0 +1,80 @@
+"""Trace characterization.
+
+The paper buckets its 662 traces into SHORT/LONG × MOBILE/SERVER categories.
+When studying our own synthetic traces (or any trace in the repository's
+format) it is useful to compute the same kind of footprint and branch-mix
+summary this module provides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.traces.record import BranchRecord, BranchType
+from repro.traces.reconstruct import FetchBlockStream
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Aggregate statistics for one trace."""
+
+    branch_count: int = 0
+    instruction_count: int = 0
+    taken_count: int = 0
+    unique_branch_pcs: int = 0
+    unique_blocks_64b: int = 0
+    code_footprint_bytes: int = 0
+    branch_type_counts: dict[BranchType, int] = field(default_factory=dict)
+
+    @property
+    def taken_fraction(self) -> float:
+        """Fraction of branches that were taken."""
+        return self.taken_count / self.branch_count if self.branch_count else 0.0
+
+    @property
+    def branch_density(self) -> float:
+        """Branches per instruction (instruction mix "branchiness")."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.branch_count / self.instruction_count
+
+    @property
+    def avg_run_length(self) -> float:
+        """Average sequential instructions per branch."""
+        if self.branch_count == 0:
+            return 0.0
+        return self.instruction_count / self.branch_count
+
+
+def summarize_trace(records: Iterable[BranchRecord], block_size: int = 64) -> TraceSummary:
+    """Characterize a trace in one streaming pass.
+
+    ``code_footprint_bytes`` counts distinct touched blocks times the block
+    size — the quantity that determines whether a trace stresses a given
+    I-cache capacity (the mobile/server divide in the paper).
+    """
+    stream = FetchBlockStream(records)
+    pcs: set[int] = set()
+    blocks: set[int] = set()
+    type_counts: Counter[BranchType] = Counter()
+    taken = 0
+    for chunk in stream:
+        record = chunk.branch
+        pcs.add(record.pc)
+        blocks.update(chunk.block_addresses(block_size))
+        type_counts[record.branch_type] += 1
+        if record.taken:
+            taken += 1
+    return TraceSummary(
+        branch_count=stream.branches_seen,
+        instruction_count=stream.instructions_seen,
+        taken_count=taken,
+        unique_branch_pcs=len(pcs),
+        unique_blocks_64b=len(blocks),
+        code_footprint_bytes=len(blocks) * block_size,
+        branch_type_counts=dict(type_counts),
+    )

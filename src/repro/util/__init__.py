@@ -1,0 +1,37 @@
+"""Low-level utilities shared across the simulator.
+
+This package hosts the bit-manipulation and hashing primitives that the
+hardware models are built from, plus deterministic random-number helpers so
+that every simulation in the repository is exactly reproducible from a seed.
+"""
+
+from repro.util.bits import (
+    bit_slice,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    rotate_left,
+    sign_extend,
+)
+from repro.util.hashing import (
+    mix64,
+    skewed_indices,
+    splitmix64,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+
+__all__ = [
+    "bit_slice",
+    "fold_xor",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "rotate_left",
+    "sign_extend",
+    "mix64",
+    "skewed_indices",
+    "splitmix64",
+    "DeterministicRng",
+    "derive_seed",
+]

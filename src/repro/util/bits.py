@@ -1,0 +1,112 @@
+"""Bit-field helpers used by the hardware models.
+
+All functions operate on arbitrary-precision Python integers but treat them
+as fixed-width unsigned bit vectors, which is how the hardware structures in
+the paper (path history registers, signatures, table indices) are specified.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "bit_slice",
+    "fold_xor",
+    "rotate_left",
+    "sign_extend",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+
+def mask(width: int) -> int:
+    """Return a bit mask of ``width`` ones.
+
+    >>> mask(4)
+    15
+    >>> mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_slice(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    >>> bit_slice(0b110110, 1, 3)
+    3
+    """
+    if low < 0:
+        raise ValueError(f"low bit index must be non-negative, got {low}")
+    return (value >> low) & mask(width)
+
+
+def fold_xor(value: int, width: int) -> int:
+    """Fold ``value`` down to ``width`` bits by XOR-ing successive chunks.
+
+    This is the classic hardware trick for hashing a wide register into a
+    narrow table index: split the value into ``width``-bit chunks and XOR
+    them together.
+
+    >>> fold_xor(0xABCD, 8)
+    102
+    """
+    if width <= 0:
+        raise ValueError(f"fold width must be positive, got {width}")
+    folded = 0
+    value &= mask(max(value.bit_length(), width))
+    while value:
+        folded ^= value & mask(width)
+        value >>= width
+    return folded
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` bits.
+
+    >>> rotate_left(0b1001, 1, 4)
+    3
+    """
+    if width <= 0:
+        raise ValueError(f"rotate width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement.
+
+    >>> sign_extend(0b111, 3)
+    -1
+    >>> sign_extend(0b011, 3)
+    3
+    """
+    if width <= 0:
+        raise ValueError(f"sign-extend width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two.
+
+    >>> is_power_of_two(64)
+    True
+    >>> is_power_of_two(0)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power-of-two ``value``; raise otherwise.
+
+    Hardware indexing (set selection, table indexing) requires power-of-two
+    geometries, so a loud failure here catches misconfiguration early.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1

@@ -1,0 +1,82 @@
+"""Hash functions for skewed prediction-table indexing.
+
+GHRP (like SDBP before it) banks its predictor into several tables, each
+indexed by a *different* hash of the same signature so that a destructive
+alias in one table is very unlikely to repeat in the others.  The paper calls
+these "skewed" tables after the skewed-associative cache literature.
+
+The concrete hash functions are not specified in the paper beyond "three
+distinct 12-bit hashes of the 16-bit signature"; we use an invertible
+integer mixer (splitmix64 finalizer) with per-table tweak constants, then
+fold the result down to the index width.  Any family of independent-ish
+hashes preserves the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import fold_xor, mask
+
+__all__ = ["splitmix64", "mix64", "skewed_indices"]
+
+_U64 = (1 << 64) - 1
+
+# Large odd constants from the splitmix64 reference implementation.
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
+
+# Per-table tweak constants (arbitrary distinct odd values).
+_TABLE_TWEAKS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x85EBCA6B27D4EB4F,
+    0xA0761D6478BD642F,
+)
+
+
+def splitmix64(value: int) -> int:
+    """One round of the splitmix64 finalizer (a strong 64-bit mixer).
+
+    Deterministic, stateless, and uniform enough that distinct tweak
+    constants yield effectively independent hash functions.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _U64
+    value = ((value ^ (value >> 30)) * _MIX_MULT_1) & _U64
+    value = ((value ^ (value >> 27)) * _MIX_MULT_2) & _U64
+    return value ^ (value >> 31)
+
+
+def mix64(value: int, tweak: int = 0) -> int:
+    """Mix ``value`` with an optional ``tweak`` selecting the hash function."""
+    return splitmix64((value ^ tweak) & _U64)
+
+
+def skewed_indices(signature: int, num_tables: int, index_bits: int) -> tuple[int, ...]:
+    """Compute one index per table from a single signature.
+
+    Parameters
+    ----------
+    signature:
+        The (narrow) signature to hash; GHRP uses 16 bits.
+    num_tables:
+        How many prediction tables the bank has; GHRP and modified SDBP use 3.
+    index_bits:
+        Width of each table index; GHRP uses 12 (4,096 entries).
+
+    Returns
+    -------
+    A tuple of ``num_tables`` indices, each in ``[0, 2**index_bits)``.
+    """
+    if num_tables <= 0:
+        raise ValueError(f"num_tables must be positive, got {num_tables}")
+    if num_tables > len(_TABLE_TWEAKS):
+        raise ValueError(
+            f"at most {len(_TABLE_TWEAKS)} skewed tables supported, got {num_tables}"
+        )
+    if index_bits <= 0:
+        raise ValueError(f"index_bits must be positive, got {index_bits}")
+    return tuple(
+        fold_xor(mix64(signature, _TABLE_TWEAKS[t]), index_bits) & mask(index_bits)
+        for t in range(num_tables)
+    )

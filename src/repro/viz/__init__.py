@@ -1,0 +1,16 @@
+"""Dependency-free figure rendering.
+
+The paper's heat maps (Figures 1 and 5) are bitmaps and its comparison
+figures are line/bar charts.  This package renders the repository's
+regenerated data into portable files without any plotting dependency:
+
+- :mod:`repro.viz.pgm`: efficiency heat maps as binary PGM images
+  (one pixel per (set, way) frame, lighter = longer live time — exactly
+  the paper's encoding);
+- :mod:`repro.viz.svg`: S-curves and bar charts as standalone SVG.
+"""
+
+from repro.viz.pgm import heatmap_to_pgm, write_pgm
+from repro.viz.svg import bar_chart_svg, scurve_svg
+
+__all__ = ["write_pgm", "heatmap_to_pgm", "scurve_svg", "bar_chart_svg"]

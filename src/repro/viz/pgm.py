@@ -1,0 +1,45 @@
+"""PGM (portable graymap) rendering of efficiency heat maps.
+
+PGM is the simplest portable image format: a tiny ASCII header followed
+by raw bytes, readable by effectively every image tool.  One pixel per
+(set, way) cache frame, scaled by an integer zoom factor so 128x8 maps
+are visible; lighter pixels = longer live time, matching the paper's
+Figure 1 ("Lighter pixels represent longer live times").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_pgm", "heatmap_to_pgm"]
+
+
+def write_pgm(path: str | Path, pixels: np.ndarray) -> None:
+    """Write a 2-D uint8 array as a binary (P5) PGM file."""
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D pixel array, got shape {pixels.shape}")
+    data = np.ascontiguousarray(pixels, dtype=np.uint8)
+    height, width = data.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+
+
+def heatmap_to_pgm(
+    path: str | Path,
+    efficiency_matrix: np.ndarray,
+    zoom: int = 8,
+) -> None:
+    """Render an efficiency matrix ([sets x ways] in [0, 1]) as a PGM.
+
+    Each frame becomes a ``zoom x zoom`` pixel square; efficiency 1.0 is
+    white, 0.0 is black.
+    """
+    if zoom < 1:
+        raise ValueError(f"zoom must be >= 1, got {zoom}")
+    clipped = np.clip(efficiency_matrix, 0.0, 1.0)
+    gray = (clipped * 255).astype(np.uint8)
+    zoomed = np.repeat(np.repeat(gray, zoom, axis=0), zoom, axis=1)
+    write_pgm(path, zoomed)

@@ -1,0 +1,150 @@
+"""SVG rendering of S-curves and bar charts.
+
+Standalone, dependency-free SVG strings: a log-scale multi-series line
+chart for the paper's S-curve figures (3 and 11) and a grouped bar chart
+for the per-benchmark figures (6 and 10).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["scurve_svg", "bar_chart_svg"]
+
+_PALETTE = ("#444444", "#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400")
+
+
+def _svg_header(width: int, height: int) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f'<rect width="{width}" height="{height}" fill="white"/>'
+    )
+
+
+def scurve_svg(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 720,
+    height: int = 400,
+    floor: float = 0.01,
+) -> str:
+    """Log-y multi-series line chart; x = workload rank.
+
+    ``series`` maps policy name -> MPKI values in a shared workload order
+    (use :func:`repro.stats.scurve.scurve` to produce it).
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    margin = 50
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    count = max(len(values) for values in series.values())
+    if count == 0:
+        raise ValueError("series values must not be empty")
+    all_values = [max(v, floor) for values in series.values() for v in values]
+    lo, hi = math.log10(min(all_values)), math.log10(max(all_values))
+    span = max(hi - lo, 1e-9)
+
+    def x_of(index: int) -> float:
+        return margin + (index / max(count - 1, 1)) * plot_w
+
+    def y_of(value: float) -> float:
+        return margin + plot_h - (math.log10(max(value, floor)) - lo) / span * plot_h
+
+    parts = [_svg_header(width, height)]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+    # Axes.
+    parts.append(
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{margin + plot_h}" stroke="#999"/>'
+        f'<line x1="{margin}" y1="{margin + plot_h}" x2="{margin + plot_w}" '
+        f'y2="{margin + plot_h}" stroke="#999"/>'
+    )
+    # Log gridlines at decades.
+    decade = math.ceil(lo)
+    while decade <= hi:
+        y = y_of(10 ** decade)
+        parts.append(
+            f'<line x1="{margin}" y1="{y:.1f}" x2="{margin + plot_w}" y2="{y:.1f}" '
+            f'stroke="#eee"/>'
+            f'<text x="{margin - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{10 ** decade:g}</text>'
+        )
+        decade += 1
+    # Series.
+    for color_index, (name, values) in enumerate(series.items()):
+        color = _PALETTE[color_index % len(_PALETTE)]
+        points = " ".join(
+            f"{x_of(i):.1f},{y_of(v):.1f}" for i, v in enumerate(values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{margin + plot_w + 4}" '
+            f'y="{margin + 14 + 14 * color_index}" font-family="sans-serif" '
+            f'font-size="11" fill="{color}">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def bar_chart_svg(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 720,
+    height: int = 400,
+) -> str:
+    """Grouped bar chart: one group per benchmark, one bar per policy."""
+    if not groups or not series:
+        raise ValueError("groups and series must not be empty")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} length != number of groups")
+    margin = 50
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    peak = max(max(values) for values in series.values()) or 1.0
+    group_width = plot_w / len(groups)
+    bar_width = group_width / (len(series) + 1)
+
+    parts = [_svg_header(width, height)]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin}" y1="{margin + plot_h}" x2="{margin + plot_w}" '
+        f'y2="{margin + plot_h}" stroke="#999"/>'
+    )
+    for series_index, (name, values) in enumerate(series.items()):
+        color = _PALETTE[series_index % len(_PALETTE)]
+        for group_index, value in enumerate(values):
+            bar_h = (value / peak) * plot_h
+            x = margin + group_index * group_width + series_index * bar_width
+            y = margin + plot_h - bar_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width * 0.9:.1f}" '
+                f'height="{bar_h:.1f}" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{margin + plot_w + 4}" '
+            f'y="{margin + 14 + 14 * series_index}" font-family="sans-serif" '
+            f'font-size="11" fill="{color}">{escape(name)}</text>'
+        )
+    for group_index, label in enumerate(groups):
+        x = margin + (group_index + 0.5) * group_width
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin + plot_h + 14}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="9">{escape(str(label))}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,56 @@
+"""Synthetic instruction-stream workloads.
+
+The paper evaluates on 662 proprietary industrial traces from CBP-5, split
+into SHORT/LONG × MOBILE/SERVER categories.  Those traces are not
+redistributable, so this package synthesizes workloads with the properties
+that drive the paper's results: structured control flow (loops, calls,
+branchy code), phase behaviour (working sets that die), configurable code
+footprint (the mobile/server divide), and BTB-stressing branch-site counts.
+
+Pipeline: a :class:`~repro.workloads.spec.WorkloadSpec` parameterizes a
+random *program* (a statement tree lowered to a concrete code layout,
+:mod:`repro.workloads.program` / :mod:`repro.workloads.builder`); a
+deterministic *walker* interprets the program and emits
+:class:`~repro.traces.record.BranchRecord` streams
+(:mod:`repro.workloads.walker`); :mod:`repro.workloads.suite` names and
+buckets the workloads the way the paper's suite is bucketed.
+"""
+
+from repro.workloads.archetypes import archetype_spec, available_archetypes
+from repro.workloads.spec import Category, WorkloadSpec, spec_for_category
+from repro.workloads.program import (
+    Call,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    ProgramFunction,
+    Run,
+    Statement,
+    Switch,
+)
+from repro.workloads.builder import build_program
+from repro.workloads.walker import ProgramWalker
+from repro.workloads.suite import Workload, make_suite, make_workload
+
+__all__ = [
+    "archetype_spec",
+    "available_archetypes",
+    "Category",
+    "WorkloadSpec",
+    "spec_for_category",
+    "Run",
+    "If",
+    "Loop",
+    "Call",
+    "IndirectCall",
+    "Switch",
+    "Statement",
+    "ProgramFunction",
+    "Program",
+    "build_program",
+    "ProgramWalker",
+    "Workload",
+    "make_workload",
+    "make_suite",
+]

@@ -1,0 +1,314 @@
+"""Random program construction from a :class:`WorkloadSpec`.
+
+The builder creates a leveled call DAG:
+
+- **shared functions** (utility code called from every phase) occupy
+  ``shared_function_fraction`` of the code budget and sit at the bottom of
+  the call graph;
+- each **phase** owns a disjoint set of functions split into levels
+  ``0 .. max_call_depth-1``; a function only calls same-phase functions one
+  level deeper, or shared functions, so the graph is acyclic and call
+  depth is bounded by construction;
+- **main** (function 0) is the phase driver: an outer counted loop over
+  ``phase_rounds``, and per phase an inner counted loop invoking that
+  phase's level-0 roots — this is what produces the working-set turnover
+  that creates dead blocks.
+
+Everything is drawn from a :class:`~repro.util.rng.DeterministicRng`, so a
+(spec, seed) pair always builds the identical program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import DeterministicRng
+from repro.workloads.program import (
+    Call,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    ProgramFunction,
+    Run,
+    Statement,
+    Switch,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["build_program"]
+
+
+def _zipf_weights(count: int) -> list[float]:
+    """Zipf-skewed target weights: real indirect branches are dominated by
+    one hot target, which also keeps path histories (and hence GHRP
+    signatures) stable."""
+    return [1.0 / (rank + 1) ** 2 for rank in range(count)]
+
+
+@dataclass(slots=True)
+class _FunctionPlan:
+    """A function being assembled, before final index assignment."""
+
+    name: str
+    level: int
+    phase: int  # -1 for shared functions
+    body: list[Statement]
+
+
+class _ProgramBuilder:
+    def __init__(self, spec: WorkloadSpec, seed: int):
+        self.spec = spec
+        self.rng = DeterministicRng(seed)
+        self.plans: list[_FunctionPlan] = []
+        # plan index lists, filled as functions are created
+        self.shared_by_level: dict[int, list[int]] = {}
+        self.phase_by_level: dict[tuple[int, int], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Statement generation
+    # ------------------------------------------------------------------
+    def _run_length(self) -> int:
+        """Straight-line run length ~ geometric around the spec mean."""
+        mean = self.spec.mean_run_length
+        length = 1
+        while self.rng.random() < 1.0 - 1.0 / mean and length < 8 * mean:
+            length += 1
+        return length
+
+    def _pick_kind(self, callees: list[int], depth: int) -> str:
+        spec = self.spec
+        # Loops multiply the dynamic cost of everything inside them, so
+        # their probability decays with nesting depth; otherwise a walk
+        # would rarely escape one hot function (and phase rotation — the
+        # behaviour this generator exists to create — would never happen).
+        weights = [
+            spec.if_weight,
+            spec.loop_weight / (2.0 ** (depth - 1)),
+            spec.call_weight,
+            spec.switch_weight,
+        ]
+        kinds = ["if", "loop", "call", "switch"]
+        # Calls only at a function's top level: a call site inside a loop
+        # body multiplies the dynamic call fan-out by the trip count, which
+        # compounds across levels and traps the walk in one subtree.
+        if not callees or depth > 1:
+            weights[2] = 0.0
+        if depth >= spec.max_nesting:
+            weights[0] = weights[1] = weights[3] = 0.0
+        total = sum(weights)
+        if total == 0:
+            return "run"
+        return self.rng.choices(kinds, weights=weights, k=1)[0]
+
+    def _pick_callee(self, callees: list[int]) -> int:
+        """Prefer not-yet-referenced callees so the call graph covers all
+        generated code (unreferenced functions would be dead footprint)."""
+        fresh = [c for c in callees if c in self._unreferenced]
+        choice = self.rng.choice(fresh if fresh else callees)
+        self._unreferenced.discard(choice)
+        return choice
+
+    def _gen_body(
+        self, statement_budget: int, callees: list[int], depth: int
+    ) -> tuple[list[Statement], int]:
+        """Generate a body of about ``statement_budget`` statements.
+
+        Returns the statements and an instruction-count estimate used to
+        meter the code-footprint budget.
+        """
+        body: list[Statement] = []
+        instructions = 0
+        for _ in range(max(statement_budget, 1)):
+            run = Run(self._run_length())
+            body.append(run)
+            instructions += run.length
+            kind = self._pick_kind(callees, depth)
+            if kind == "run":
+                continue
+            if kind == "if":
+                bias = self.rng.choice(self.spec.if_bias_choices)
+                then_body, then_size = self._gen_body(
+                    self.rng.randint(1, 3), callees, depth + 1
+                )
+                else_body = None
+                else_size = 0
+                if self.rng.random() < 0.35:
+                    else_body, else_size = self._gen_body(
+                        self.rng.randint(1, 2), callees, depth + 1
+                    )
+                body.append(If(bias=bias, then_body=then_body, else_body=else_body))
+                instructions += 1 + then_size + else_size + (1 if else_body else 0)
+            elif kind == "loop":
+                loop_body, loop_size = self._gen_body(
+                    self.rng.randint(1, 3), callees, depth + 1
+                )
+                # Deep loops get small trip counts (see _pick_kind).
+                cap = max(int(self.spec.mean_loop_iterations / depth), 3)
+                if self.rng.random() < 0.85:
+                    trip = self.rng.randint(2, max(cap, 3))
+                    body.append(Loop(body=loop_body, trip_count=trip))
+                else:
+                    body.append(
+                        Loop(
+                            body=loop_body,
+                            trip_count=None,
+                            mean_iterations=max(cap / 2.0, 2.0),
+                        )
+                    )
+                instructions += 1 + loop_size
+            elif kind == "call":
+                if self.rng.random() < 0.2 and len(callees) >= 2:
+                    fanout = min(self.spec.switch_fanout, len(callees))
+                    chosen = [self._pick_callee(callees) for _ in range(fanout)]
+                    body.append(IndirectCall(callees=chosen, weights=_zipf_weights(fanout)))
+                else:
+                    body.append(Call(callee=self._pick_callee(callees)))
+                instructions += 1
+            elif kind == "switch":
+                cases = []
+                case_size = 0
+                for _ in range(self.spec.switch_fanout):
+                    case_body, size = self._gen_body(1, callees, depth + 1)
+                    cases.append(case_body)
+                    case_size += size + 1  # exit jump
+                body.append(Switch(cases=cases, weights=_zipf_weights(len(cases))))
+                instructions += 1 + case_size
+        return body, instructions
+
+    # ------------------------------------------------------------------
+    # Function and program assembly
+    # ------------------------------------------------------------------
+    def _make_function(self, name: str, phase: int, level: int, callees: list[int]) -> int:
+        """Create one function plan; returns (plan index, size estimate)."""
+        statement_budget = max(
+            2, int(self.rng.gauss(self.spec.mean_function_blocks, 2))
+        )
+        body, size = self._gen_body(statement_budget, callees, depth=1)
+        plan = _FunctionPlan(name=name, level=level, phase=phase, body=body)
+        self.plans.append(plan)
+        index = len(self.plans) - 1
+        self._size_estimates.append(size + 1)  # + return instruction
+        self._unreferenced.add(index)
+        return index
+
+    def _callees_for(self, phase: int, level: int) -> list[int]:
+        """Legal call targets: next level of same phase, plus shared code."""
+        candidates: list[int] = []
+        if phase >= 0:
+            candidates += self.phase_by_level.get((phase, level + 1), [])
+            candidates += self.shared_by_level.get(0, [])
+        else:
+            candidates += self.shared_by_level.get(level + 1, [])
+        return candidates
+
+    def build(self) -> Program:
+        spec = self.spec
+        self._size_estimates: list[int] = []
+        self._unreferenced: set[int] = set()
+        instr_bytes = 4
+
+        shared_budget = int(
+            spec.code_footprint_bytes * spec.shared_function_fraction
+        ) // instr_bytes
+        phase_budget = (
+            spec.code_footprint_bytes // instr_bytes - shared_budget
+        ) // spec.num_phases
+
+        # Shared utilities: two levels, deepest first so callees exist.
+        shared_levels = 2
+        per_level_budget = max(shared_budget // shared_levels, 1)
+        for level in range(shared_levels - 1, -1, -1):
+            self.shared_by_level[level] = []
+            built = 0
+            while built < per_level_budget:
+                index = self._make_function(
+                    f"shared_L{level}_{len(self.shared_by_level[level])}",
+                    phase=-1,
+                    level=level,
+                    callees=self._callees_for(-1, level),
+                )
+                self.shared_by_level[level].append(index)
+                built += self._size_estimates[index]
+
+        # Phase functions: deepest level first within each phase.
+        for phase in range(spec.num_phases):
+            depth = max(spec.max_call_depth - 1, 1)
+            per_level = max(phase_budget // depth, 1)
+            for level in range(depth - 1, -1, -1):
+                self.phase_by_level[(phase, level)] = []
+                built = 0
+                while built < per_level:
+                    index = self._make_function(
+                        f"phase{phase}_L{level}_{len(self.phase_by_level[(phase, level)])}",
+                        phase=phase,
+                        level=level,
+                        callees=self._callees_for(phase, level),
+                    )
+                    self.phase_by_level[(phase, level)].append(index)
+                    built += self._size_estimates[index]
+
+        # Main driver: counted loops over phases calling the phase roots.
+        # Roots are visited in small groups so every root is exercised each
+        # round without making one phase visit arbitrarily expensive.
+        phase_bodies: list[Statement] = []
+        group_size = max(spec.roots_per_visit, 1)
+        shared_roots = self.shared_by_level.get(0, [])
+        for phase in range(spec.num_phases):
+            roots = self.phase_by_level[(phase, 0)]
+            for start in range(0, len(roots), group_size):
+                group = roots[start : start + group_size]
+                visit_body: list[Statement] = []
+                for root in group:
+                    visit_body.append(Run(self._run_length()))
+                    visit_body.append(Call(callee=root))
+                if shared_roots:
+                    visit_body.append(Call(callee=self.rng.choice(shared_roots)))
+                phase_bodies.append(
+                    Loop(body=visit_body, trip_count=max(spec.calls_per_phase_visit, 1))
+                )
+            phase_bodies.append(Run(self._run_length()))
+        main_body: list[Statement] = [
+            Loop(body=phase_bodies, trip_count=max(spec.phase_rounds, 1))
+        ]
+        main_plan = _FunctionPlan(name="main", level=0, phase=-2, body=main_body)
+
+        # Final index assignment: main gets 0, others shift by one.
+        functions = [ProgramFunction(index=0, name=main_plan.name, body=main_plan.body)]
+        remap = {old: old + 1 for old in range(len(self.plans))}
+        for old_index, plan in enumerate(self.plans):
+            functions.append(
+                ProgramFunction(
+                    index=remap[old_index], name=plan.name, body=plan.body
+                )
+            )
+        for function in functions:
+            _remap_callees(function.body, remap)
+        return Program(functions)
+
+
+def _remap_callees(body: list[Statement], remap: dict[int, int]) -> None:
+    """Rewrite callee plan-indices into final function indices, in place."""
+    for statement in body:
+        if isinstance(statement, Call):
+            statement.callee = remap[statement.callee]
+        elif isinstance(statement, IndirectCall):
+            statement.callees = [remap[c] for c in statement.callees]
+        elif isinstance(statement, If):
+            _remap_callees(statement.then_body, remap)
+            if statement.else_body:
+                _remap_callees(statement.else_body, remap)
+        elif isinstance(statement, Loop):
+            _remap_callees(statement.body, remap)
+        elif isinstance(statement, Switch):
+            for case in statement.cases:
+                _remap_callees(case, remap)
+
+
+def build_program(spec: WorkloadSpec, seed: int) -> Program:
+    """Deterministically build a random program for ``spec``.
+
+    The same (spec, seed) pair always yields a structurally identical
+    program with an identical layout.
+    """
+    return _ProgramBuilder(spec, seed).build()

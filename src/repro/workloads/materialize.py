@@ -1,0 +1,102 @@
+"""Materializing the synthetic suite as trace files.
+
+CBP-5 distributes its suite as trace files; this module lets the
+synthetic suite be shipped the same way — so results can be reproduced
+byte-for-byte without the generator, shared between machines, or fed to
+other simulators that learn the (documented, simple) trace format.
+
+``materialize_suite`` writes one (optionally gzipped) binary trace per
+workload plus a ``manifest.json`` recording identity and provenance;
+``load_manifest`` / ``materialized_records`` read them back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.traces.io import read_trace, write_trace
+from repro.workloads.suite import Workload
+
+__all__ = [
+    "MaterializedWorkload",
+    "materialize_suite",
+    "load_manifest",
+    "materialized_records",
+]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True, slots=True)
+class MaterializedWorkload:
+    """One manifest entry: identity + provenance of a trace file."""
+
+    name: str
+    category: str
+    seed: int
+    branch_count: int
+    trace_file: str
+    code_footprint_bytes: int
+
+    def path(self, directory: str | Path) -> Path:
+        return Path(directory) / self.trace_file
+
+
+def materialize_suite(
+    suite: list[Workload],
+    directory: str | Path,
+    compress: bool = True,
+) -> list[MaterializedWorkload]:
+    """Write every workload of ``suite`` as a trace file + manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries: list[MaterializedWorkload] = []
+    for workload in suite:
+        suffix = ".trace.gz" if compress else ".trace"
+        trace_file = f"{workload.name}{suffix}"
+        count = write_trace(directory / trace_file, workload.records())
+        entries.append(
+            MaterializedWorkload(
+                name=workload.name,
+                category=workload.category.value,
+                seed=workload.seed,
+                branch_count=count,
+                trace_file=trace_file,
+                code_footprint_bytes=workload.code_footprint_bytes,
+            )
+        )
+    manifest = {
+        "format": "repro-trace-suite",
+        "version": 1,
+        "workloads": [
+            {
+                "name": e.name,
+                "category": e.category,
+                "seed": e.seed,
+                "branch_count": e.branch_count,
+                "trace_file": e.trace_file,
+                "code_footprint_bytes": e.code_footprint_bytes,
+            }
+            for e in entries
+        ],
+    }
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    return entries
+
+
+def load_manifest(directory: str | Path) -> list[MaterializedWorkload]:
+    """Read a materialized suite's manifest."""
+    directory = Path(directory)
+    with open(directory / _MANIFEST_NAME, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "repro-trace-suite":
+        raise ValueError(f"{directory} does not contain a repro trace suite")
+    return [MaterializedWorkload(**entry) for entry in manifest["workloads"]]
+
+
+def materialized_records(directory: str | Path, entry: MaterializedWorkload):
+    """Lazily yield the records of one materialized workload."""
+    return read_trace(entry.path(directory))

@@ -1,0 +1,200 @@
+"""Workload specifications and category presets.
+
+A :class:`WorkloadSpec` is the complete recipe for one synthetic workload:
+program-shape parameters (footprint, function sizes, loop/branch mix) plus
+walk parameters (phase schedule, branch budget).  The four presets mirror
+the paper's CBP-5 buckets:
+
+- **MOBILE** workloads have code footprints comparable to or smaller than
+  a 64KB I-cache, moderate call depth, and loopy control flow.
+- **SERVER** workloads have footprints several times the I-cache, many
+  functions, deeper call chains, and more indirect branching — the
+  behaviour that makes front-end structures thrash (and gives predictive
+  replacement its headroom).
+- **SHORT** vs **LONG** controls trace length.
+
+All sizes scale with ``trace_scale`` so the full harness can be run at
+laptop speed (Python simulation is orders of magnitude slower than the C++
+CBP-5 infrastructure; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["Category", "WorkloadSpec", "spec_for_category"]
+
+
+class Category(enum.Enum):
+    """The paper's four workload buckets."""
+
+    SHORT_MOBILE = "short-mobile"
+    LONG_MOBILE = "long-mobile"
+    SHORT_SERVER = "short-server"
+    LONG_SERVER = "long-server"
+
+    @property
+    def is_server(self) -> bool:
+        return self in (Category.SHORT_SERVER, Category.LONG_SERVER)
+
+    @property
+    def is_long(self) -> bool:
+        return self in (Category.LONG_MOBILE, Category.LONG_SERVER)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Recipe for one synthetic workload.
+
+    Program-shape knobs
+    -------------------
+    code_footprint_bytes:
+        Target total code size; functions are generated until layout
+        reaches it.  This is the main mobile/server lever.
+    mean_function_blocks:
+        Average statements per function body (function size).
+    mean_run_length:
+        Average straight-line instructions between branches.
+    loop_weight / if_weight / call_weight / switch_weight:
+        Relative probabilities of compound statement kinds during program
+        construction.
+    mean_loop_iterations:
+        Average trip count of generated loops.
+    if_bias_choices:
+        Pool of then-execution probabilities for conditionals; real
+        branches are mostly strongly biased.
+    max_nesting:
+        Statement nesting depth limit inside one function.
+    max_call_depth:
+        Call-graph depth limit (callees are always deeper functions, so
+        the call graph is a DAG and recursion is impossible).
+    switch_fanout:
+        Number of cases in indirect switches.
+    num_phases:
+        Working-set phases; each phase owns a disjoint slice of the
+        functions.  Phase turnover is what creates dead code regions.
+    shared_function_fraction:
+        Fraction of functions reachable from every phase (hot utility
+        code that stays live across phases).
+
+    Walk knobs
+    ----------
+    branch_budget:
+        Number of branch records to emit.
+    phase_rounds:
+        How many times the phase schedule cycles.
+    calls_per_phase_visit:
+        Root-function invocations per phase visit.
+    """
+
+    category: Category
+    code_footprint_bytes: int
+    branch_budget: int
+    mean_function_blocks: int = 7
+    mean_run_length: int = 6
+    loop_weight: float = 0.25
+    if_weight: float = 0.40
+    call_weight: float = 0.25
+    switch_weight: float = 0.08
+    mean_loop_iterations: float = 6.0
+    # Mostly strongly biased branches (as in real code — and strong biases
+    # are what keep path histories, and hence GHRP signatures, stable);
+    # a rare mid-bias data-dependent branch.  Duplicates weight the draw.
+    if_bias_choices: tuple[float, ...] = (
+        0.02, 0.03, 0.05, 0.05, 0.1, 0.5, 0.9, 0.95, 0.95, 0.97, 0.97, 0.98,
+    )
+    max_nesting: int = 3
+    max_call_depth: int = 5
+    switch_fanout: int = 4
+    num_phases: int = 4
+    shared_function_fraction: float = 0.22
+    phase_rounds: int = 3
+    calls_per_phase_visit: int = 8
+    roots_per_visit: int = 2
+
+    def __post_init__(self) -> None:
+        if self.code_footprint_bytes < 1024:
+            raise ValueError("code_footprint_bytes must be at least 1KB")
+        if self.branch_budget <= 0:
+            raise ValueError("branch_budget must be positive")
+        if self.num_phases < 1:
+            raise ValueError("num_phases must be >= 1")
+        total_weight = (
+            self.loop_weight + self.if_weight + self.call_weight + self.switch_weight
+        )
+        if total_weight <= 0:
+            raise ValueError("statement weights must sum to a positive value")
+        if not 0 <= self.shared_function_fraction < 1:
+            raise ValueError("shared_function_fraction must be in [0, 1)")
+
+    def with_overrides(self, **overrides: object) -> "WorkloadSpec":
+        """Functional update, e.g. ``spec.with_overrides(num_phases=8)``."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def scaled(self, trace_scale: float = 1.0, footprint_scale: float = 1.0) -> "WorkloadSpec":
+        """Scale trace length and/or footprint (for fast test runs)."""
+        return replace(
+            self,
+            branch_budget=max(int(self.branch_budget * trace_scale), 1000),
+            code_footprint_bytes=max(
+                int(self.code_footprint_bytes * footprint_scale), 2048
+            ),
+        )
+
+
+_PRESETS: dict[Category, WorkloadSpec] = {
+    Category.SHORT_MOBILE: WorkloadSpec(
+        category=Category.SHORT_MOBILE,
+        code_footprint_bytes=72 * 1024,
+        branch_budget=90_000,
+        num_phases=3,
+        mean_loop_iterations=8.0,
+        call_weight=0.20,
+        switch_weight=0.05,
+        max_call_depth=4,
+        calls_per_phase_visit=2,
+        phase_rounds=20,
+    ),
+    Category.LONG_MOBILE: WorkloadSpec(
+        category=Category.LONG_MOBILE,
+        code_footprint_bytes=88 * 1024,
+        branch_budget=170_000,
+        num_phases=4,
+        mean_loop_iterations=8.0,
+        call_weight=0.20,
+        switch_weight=0.05,
+        max_call_depth=4,
+        calls_per_phase_visit=2,
+        phase_rounds=32,
+    ),
+    Category.SHORT_SERVER: WorkloadSpec(
+        category=Category.SHORT_SERVER,
+        code_footprint_bytes=256 * 1024,
+        branch_budget=120_000,
+        num_phases=5,
+        mean_loop_iterations=4.0,
+        call_weight=0.28,
+        switch_weight=0.10,
+        max_call_depth=5,
+        calls_per_phase_visit=1,
+        phase_rounds=36,
+    ),
+    Category.LONG_SERVER: WorkloadSpec(
+        category=Category.LONG_SERVER,
+        code_footprint_bytes=384 * 1024,
+        branch_budget=230_000,
+        num_phases=6,
+        mean_loop_iterations=4.0,
+        call_weight=0.28,
+        switch_weight=0.10,
+        max_call_depth=5,
+        calls_per_phase_visit=1,
+        phase_rounds=36,
+    ),
+}
+
+
+def spec_for_category(category: Category) -> WorkloadSpec:
+    """The preset spec for one of the paper's workload buckets."""
+    return _PRESETS[category]

@@ -1,0 +1,145 @@
+"""Named workloads and the benchmark suite.
+
+A :class:`Workload` bundles a spec, a built program, and a replayable
+record stream; :func:`make_suite` manufactures the repository's stand-in
+for the paper's 662-trace CBP-5 suite — a deterministic set of workloads
+spread over the four categories, sized by a scale factor so the full
+harness runs in minutes in pure Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.traces.record import BranchRecord
+from repro.traces.reconstruct import FetchBlockStream
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.workloads.builder import build_program
+from repro.workloads.program import Program
+from repro.workloads.spec import Category, WorkloadSpec, spec_for_category
+from repro.workloads.walker import ProgramWalker
+
+__all__ = ["Workload", "make_workload", "make_suite", "DEFAULT_SUITE_MIX"]
+
+DEFAULT_SUITE_MIX: dict[Category, int] = {
+    Category.SHORT_MOBILE: 5,
+    Category.LONG_MOBILE: 4,
+    Category.SHORT_SERVER: 6,
+    Category.LONG_SERVER: 5,
+}
+"""Workloads per category in the default suite (server-heavy, like CBP-5)."""
+
+
+@dataclass(slots=True)
+class Workload:
+    """One replayable synthetic workload."""
+
+    name: str
+    spec: WorkloadSpec
+    seed: int
+    program: Program = field(repr=False)
+    _instruction_count: int | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def category(self) -> Category:
+        return self.spec.category
+
+    def records(self, limit: int | None = None) -> Iterator[BranchRecord]:
+        """A fresh, deterministic branch-record stream.
+
+        Every call replays the identical sequence — this is what lets the
+        harness run the same trace under each replacement policy.
+        """
+        budget = limit if limit is not None else self.spec.branch_budget
+        walker = ProgramWalker(self.program, derive_seed(self.seed, "walk"))
+        return walker.records(budget)
+
+    @property
+    def code_footprint_bytes(self) -> int:
+        return self.program.code_size_bytes
+
+    def instruction_count(self) -> int:
+        """Total reconstructed instructions in the full trace (cached).
+
+        Used by the harness to apply the paper's warm-up rule before the
+        simulation starts.
+        """
+        if self._instruction_count is None:
+            stream = FetchBlockStream(self.records())
+            for _ in stream:
+                pass
+            self._instruction_count = stream.instructions_seen
+        return self._instruction_count
+
+
+def make_workload(
+    name: str,
+    category: Category,
+    seed: int,
+    trace_scale: float = 1.0,
+    footprint_scale: float = 1.0,
+    spec: WorkloadSpec | None = None,
+    jitter: bool = True,
+) -> Workload:
+    """Build one workload from a category preset (or an explicit spec).
+
+    With ``jitter`` (the default for suites), shape parameters are varied
+    deterministically per seed — footprint, trace length, phase count,
+    loop behaviour — so a suite spans a spread of MPKIs (the paper's
+    S-curves cover two orders of magnitude) instead of N near-clones.
+    """
+    base = spec if spec is not None else spec_for_category(category)
+    scaled = base.scaled(trace_scale=trace_scale, footprint_scale=footprint_scale)
+    if jitter:
+        rng = DeterministicRng(derive_seed(seed, "jitter", name))
+        scaled = scaled.with_overrides(
+            code_footprint_bytes=max(
+                int(scaled.code_footprint_bytes * rng.uniform(0.6, 1.6)), 8192
+            ),
+            branch_budget=max(int(scaled.branch_budget * rng.uniform(0.8, 1.2)), 1000),
+            num_phases=max(scaled.num_phases + rng.randint(-1, 1), 1),
+            phase_rounds=max(scaled.phase_rounds + rng.randint(-2, 3), 1),
+            mean_loop_iterations=max(
+                scaled.mean_loop_iterations * rng.uniform(0.7, 1.5), 2.0
+            ),
+            shared_function_fraction=min(
+                max(scaled.shared_function_fraction * rng.uniform(0.5, 1.8), 0.0), 0.5
+            ),
+        )
+    program = build_program(scaled, derive_seed(seed, "program", name))
+    return Workload(name=name, spec=scaled, seed=seed, program=program)
+
+
+def make_suite(
+    base_seed: int = 2018,
+    mix: dict[Category, int] | None = None,
+    trace_scale: float = 1.0,
+    footprint_scale: float = 1.0,
+) -> list[Workload]:
+    """Manufacture the full synthetic suite.
+
+    Parameters
+    ----------
+    base_seed:
+        Top-level seed; the suite is a pure function of it.
+    mix:
+        Workloads per category (default :data:`DEFAULT_SUITE_MIX`).
+    trace_scale, footprint_scale:
+        Shrink factors for fast runs; 1.0 is the harness default.
+    """
+    mix = mix if mix is not None else DEFAULT_SUITE_MIX
+    suite: list[Workload] = []
+    for category, count in mix.items():
+        for i in range(count):
+            name = f"{category.value}-{i:02d}"
+            suite.append(
+                make_workload(
+                    name=name,
+                    category=category,
+                    seed=derive_seed(base_seed, category.value, i),
+                    trace_scale=trace_scale,
+                    footprint_scale=footprint_scale,
+                )
+            )
+    return suite

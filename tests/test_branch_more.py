@@ -1,0 +1,66 @@
+"""Additional direction-predictor coverage."""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.perceptron import HashedPerceptronPredictor
+from repro.util.rng import DeterministicRng
+
+
+class TestPerceptronInternals:
+    def test_theta_default_rule(self):
+        predictor = HashedPerceptronPredictor(num_tables=8, history_bits=64)
+        mean_segment = 64 / 7
+        assert predictor.theta == int(1.93 * mean_segment + 14)
+
+    def test_theta_override(self):
+        predictor = HashedPerceptronPredictor(theta=42)
+        assert predictor.theta == 42
+
+    def test_weights_saturate(self):
+        predictor = HashedPerceptronPredictor(weight_bits=7)
+        for _ in range(500):
+            predictor.predict_and_update(0x1000, True)
+        for table in predictor._weights:
+            assert all(-64 <= w <= 63 for w in table)
+
+    def test_noise_tolerance(self):
+        """A strongly biased branch with 5% noise should still be
+        predicted at well above the base rate."""
+        predictor = HashedPerceptronPredictor()
+        rng = DeterministicRng(3)
+        correct = 0
+        trials = 4000
+        for _ in range(trials):
+            taken = rng.random() < 0.95
+            if predictor.predict_and_update(0x2000, taken) == taken:
+                correct += 1
+        assert correct / trials > 0.9
+
+    def test_interleaved_branches_do_not_destroy_each_other(self):
+        predictor = HashedPerceptronPredictor()
+        for _ in range(2000):
+            predictor.predict_and_update(0x1000, True)
+            predictor.predict_and_update(0x2000, False)
+        assert predictor.predict(0x1000) is True
+        assert predictor.predict(0x2000) is False
+
+
+class TestBimodalInternals:
+    def test_counter_bits_configurable(self):
+        predictor = BimodalPredictor(table_entries=256, counter_bits=3)
+        for _ in range(20):
+            predictor.predict_and_update(0x1000, True)
+        index = predictor._index(0x1000)
+        assert predictor._counters[index] == 7  # saturated 3-bit
+
+    def test_hysteresis(self):
+        """A saturated counter survives a single contrary outcome."""
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x1000, True)
+        predictor.update(0x1000, False)
+        assert predictor.predict(0x1000) is True
+
+    def test_table_aliasing_wraps(self):
+        predictor = BimodalPredictor(table_entries=16)
+        a, b = 0x0, 16 * 4  # same index after the >> 2 and mask
+        assert predictor._index(a) == predictor._index(b)

@@ -1,0 +1,95 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.btb.btb import BranchTargetBuffer
+from repro.policies.lru import LRUPolicy
+
+
+def btb(entries=16, assoc=4, policy=None):
+    return BranchTargetBuffer(entries, assoc, policy or LRUPolicy())
+
+
+class TestBasics:
+    def test_miss_then_hit_with_target(self):
+        buffer = btb()
+        first = buffer.access(0x1000, target=0x2000)
+        assert first.miss
+        second = buffer.access(0x1000, target=0x2000)
+        assert second.hit
+        assert second.predicted_target == 0x2000
+        assert second.target_correct
+
+    def test_entry_count_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4, LRUPolicy())
+
+    def test_adjacent_branches_distinct_sets(self):
+        """Modulo indexing: branches in the same cache block map to
+        distinct BTB sets (Section III-E point 3)."""
+        buffer = btb(entries=64, assoc=4)
+        sets = {buffer.geometry.set_index(0x1000 + 4 * i) for i in range(8)}
+        assert len(sets) == 8
+
+    def test_lookup_side_effect_free(self):
+        buffer = btb()
+        buffer.access(0x1000, target=0x2000)
+        before = buffer.stats.accesses
+        assert buffer.lookup(0x1000) == 0x2000
+        assert buffer.lookup(0x5000) is None
+        assert buffer.stats.accesses == before
+
+    def test_contains(self):
+        buffer = btb()
+        buffer.access(0x1000, target=0x2000)
+        assert buffer.contains(0x1000)
+        assert not buffer.contains(0x1004)
+
+    def test_num_entries(self):
+        assert btb(entries=64, assoc=4).num_entries == 64
+
+
+class TestTargetChanges:
+    def test_indirect_target_change_counted_and_corrected(self):
+        buffer = btb()
+        buffer.access(0x1000, target=0x2000)
+        result = buffer.access(0x1000, target=0x3000)
+        assert result.hit
+        assert not result.target_correct
+        assert result.predicted_target == 0x2000
+        assert buffer.target_mispredictions == 1
+        assert buffer.lookup(0x1000) == 0x3000
+
+    def test_stable_target_never_counted(self):
+        buffer = btb()
+        for _ in range(5):
+            buffer.access(0x1000, target=0x2000)
+        assert buffer.target_mispredictions == 0
+
+
+class TestReplacement:
+    def test_lru_eviction_in_full_set(self):
+        buffer = btb(entries=8, assoc=2)
+        # Set index for pc: (pc >> 2) & 3 with 4 sets.
+        pcs = [0x0, 0x10, 0x20]  # all map to set 0
+        buffer.access(pcs[0], target=0x111)
+        buffer.access(pcs[1], target=0x222)
+        buffer.access(pcs[2], target=0x333)  # evicts pcs[0]
+        assert not buffer.contains(pcs[0])
+        assert buffer.contains(pcs[1])
+        assert buffer.contains(pcs[2])
+
+    def test_stats_track_mpki_inputs(self):
+        buffer = btb()
+        buffer.access(0x1000, target=0x2000)
+        buffer.access(0x1000, target=0x2000)
+        buffer.stats.instructions = 1000
+        assert buffer.stats.mpki == pytest.approx(1.0)
+
+    def test_efficiency_tracking_optional(self):
+        plain = btb()
+        assert plain.efficiency is None
+        tracked = BranchTargetBuffer(16, 4, LRUPolicy(), track_efficiency=True)
+        tracked.access(0x1000, target=0x2000)
+        tracked.finalize()
+        assert tracked.efficiency.efficiency_matrix().shape == (4, 4)

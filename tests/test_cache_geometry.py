@@ -1,0 +1,80 @@
+"""Tests for cache geometry and address slicing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConstruction:
+    def test_from_capacity_paper_icache(self):
+        geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+        assert geometry.num_sets == 128
+        assert geometry.capacity_bytes == 64 * 1024
+        assert geometry.total_blocks == 1024
+
+    def test_from_capacity_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_capacity(1000, 3, 64)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=100, associativity=4, block_size=64)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=64, associativity=4, block_size=48)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=64, associativity=0, block_size=64)
+
+    def test_describe(self):
+        geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+        assert geometry.describe() == "64KB 8-way, 64B blocks, 128 sets"
+
+
+class TestAddressSlicing:
+    def setup_method(self):
+        self.geometry = CacheGeometry(num_sets=128, associativity=8, block_size=64)
+
+    def test_block_address_aligns_down(self):
+        assert self.geometry.block_address(0x1234) == 0x1200
+
+    def test_set_index_uses_middle_bits(self):
+        assert self.geometry.set_index(0x0000) == 0
+        assert self.geometry.set_index(64) == 1
+        assert self.geometry.set_index(64 * 128) == 0  # wraps
+
+    def test_tag_above_index(self):
+        assert self.geometry.tag(64 * 128) == 1
+
+    def test_rebuild_roundtrip(self):
+        address = 0xDEADBEC0
+        block = self.geometry.block_address(address)
+        rebuilt = self.geometry.rebuild_address(
+            self.geometry.set_index(address), self.geometry.tag(address)
+        )
+        assert rebuilt == block
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_rebuild_roundtrip_property(self, address):
+        geometry = self.geometry
+        block = geometry.block_address(address)
+        assert (
+            geometry.rebuild_address(geometry.set_index(address), geometry.tag(address))
+            == block
+        )
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_same_block_same_placement(self, address):
+        geometry = self.geometry
+        for offset in (0, 1, 63):
+            assert geometry.set_index(address & ~63 | offset) == geometry.set_index(address & ~63)
+
+    def test_btb_style_geometry(self):
+        """The BTB uses 4-byte 'blocks' so adjacent branches map to
+        distinct sets (paper Section III-E point 3)."""
+        geometry = CacheGeometry(num_sets=1024, associativity=4, block_size=4)
+        assert geometry.set_index(0x1000) != geometry.set_index(0x1004)

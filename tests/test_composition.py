@@ -1,0 +1,76 @@
+"""Composition tests: optional components combined with every policy.
+
+The front end's optional parts (prefetcher, indirect predictor,
+wrong-path simulation) must compose with any replacement policy without
+breaking determinism or accounting.
+"""
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import build_frontend
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("w", Category.SHORT_MOBILE, seed=8, trace_scale=0.06)
+
+
+POLICIES = ("lru", "srrip", "sdbp", "ghrp", "ship", "reftrace")
+
+
+class TestFullStackCombinations:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_prefetch_plus_policy(self, workload, policy):
+        config = FrontEndConfig(
+            icache_policy=policy, prefetcher="next-line", indirect_predictor=True
+        )
+        frontend = build_frontend(config)
+        result = frontend.run(workload.records(), warmup_instructions=2000)
+        stats = frontend.icache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert result.prefetch is not None and result.prefetch.issued > 0
+        assert result.indirect is not None
+
+    @pytest.mark.parametrize("policy", ("lru", "ghrp"))
+    def test_everything_on_is_deterministic(self, workload, policy):
+        def run():
+            config = FrontEndConfig(
+                icache_policy=policy,
+                prefetcher="stream",
+                indirect_predictor=True,
+                wrong_path_depth=2,
+            )
+            frontend = build_frontend(config)
+            result = frontend.run(workload.records(), warmup_instructions=2000)
+            return (
+                result.icache_mpki,
+                result.btb_mpki,
+                result.wrong_path_accesses,
+                result.prefetch.filled,
+            )
+
+        assert run() == run()
+
+    def test_prefetcher_with_ghrp_bypass_interplay(self, workload):
+        """Prefetch fills and GHRP bypass coexist: bypassed demand misses
+        must not be prefetch-filled through the demand path."""
+        config = FrontEndConfig(icache_policy="ghrp", prefetcher="next-line")
+        frontend = build_frontend(config)
+        frontend.run(workload.records(), warmup_instructions=2000)
+        stats = frontend.icache.stats
+        assert stats.bypasses <= stats.misses
+        assert stats.prefetch_fills >= 0
+
+    def test_wrong_path_composes_with_prefetch(self, workload):
+        config = FrontEndConfig(
+            icache_policy="ghrp", prefetcher="next-line", wrong_path_depth=2
+        )
+        frontend = build_frontend(config)
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert result.wrong_path_accesses > 0
+        # Wrong-path accesses go straight to the cache (not the prefetch
+        # port), so prefetch stats only reflect demand traffic.
+        assert result.prefetch.issued <= frontend.icache.stats.accesses

@@ -1,0 +1,139 @@
+"""Tests for the GHRP predictor engine and its configuration."""
+
+import pytest
+
+from repro.core.config import GHRPConfig
+from repro.core.ghrp import GHRPPredictor
+from repro.core.storage import ghrp_storage, sdbp_storage
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConfig:
+    def test_defaults_are_paper_exact(self):
+        config = GHRPConfig()
+        assert config.history_bits == 16
+        assert config.table_entries == 4096
+        assert config.num_tables == 3
+        assert config.counter_bits == 2
+        assert config.history_depth == 4
+
+    def test_paper_exact_equals_default(self):
+        assert GHRPConfig.paper_exact() == GHRPConfig()
+
+    def test_tuned_for_synthetic_differs_documentedly(self):
+        tuned = GHRPConfig.tuned_for_synthetic()
+        assert tuned.history_bits == 8
+        assert tuned.table_index_bits == 14
+
+    def test_majority_requires_odd_tables(self):
+        with pytest.raises(ValueError):
+            GHRPConfig(num_tables=2)
+
+    def test_thresholds_must_fit_counters(self):
+        with pytest.raises(ValueError):
+            GHRPConfig(dead_threshold=4)
+        with pytest.raises(ValueError):
+            GHRPConfig(dead_threshold=0)
+
+    def test_initial_counter_must_fit(self):
+        with pytest.raises(ValueError):
+            GHRPConfig(initial_counter=4)
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            GHRPConfig(aggregation="median")
+
+    def test_with_overrides(self):
+        config = GHRPConfig().with_overrides(dead_threshold=2)
+        assert config.dead_threshold == 2
+        assert GHRPConfig().dead_threshold == 3  # original untouched
+
+
+class TestPredictor:
+    def test_signature_tracks_history(self):
+        predictor = GHRPPredictor()
+        sig_before = predictor.signature(0x1000)
+        predictor.note_access(0x2004)
+        assert predictor.signature(0x1000) != sig_before
+
+    def test_train_then_predict_dead(self):
+        config = GHRPConfig(initial_counter=0, dead_threshold=2)
+        predictor = GHRPPredictor(config)
+        signature = predictor.signature(0x1000)
+        for _ in range(2):
+            predictor.train(signature, is_dead=True)
+        assert predictor.predict_dead(signature).is_dead
+
+    def test_live_training_protects(self):
+        config = GHRPConfig(initial_counter=2, dead_threshold=3)
+        predictor = GHRPPredictor(config)
+        signature = predictor.signature(0x1000)
+        for _ in range(3):
+            predictor.train(signature, is_dead=False)
+        predictor.train(signature, is_dead=True)
+        assert not predictor.predict_dead(signature).is_dead
+
+    def test_speculative_note_access(self):
+        predictor = GHRPPredictor()
+        predictor.note_access(0x104, speculative=True)
+        assert predictor.history.retired == 0
+        assert predictor.history.speculative != 0
+        predictor.recover_history()
+        assert predictor.history.speculative == 0
+
+    def test_reset_history_keeps_tables(self):
+        predictor = GHRPPredictor(GHRPConfig(initial_counter=0))
+        signature = predictor.signature(0x40)
+        predictor.train(signature, is_dead=True)
+        predictor.note_access(0x40)
+        predictor.reset_history()
+        assert predictor.history.speculative == 0
+        assert any(c > 0 for c in predictor.tables.counters(predictor.tables.indices(signature)))
+
+    def test_full_reset(self):
+        predictor = GHRPPredictor(GHRPConfig(initial_counter=0))
+        predictor.train(5, is_dead=True)
+        predictor.note_access(0x40)
+        predictor.reset()
+        assert predictor.history.speculative == 0
+        assert predictor.tables.saturation_fraction(1) == 0.0
+
+    def test_bypass_uses_higher_threshold(self):
+        config = GHRPConfig(initial_counter=0, dead_threshold=1, bypass_threshold=3)
+        predictor = GHRPPredictor(config)
+        signature = predictor.signature(0x1000)
+        predictor.train(signature, is_dead=True)
+        assert predictor.predict_dead(signature).is_dead
+        assert not predictor.predict_bypass(signature).is_dead
+
+
+class TestStorage:
+    def test_table1_matches_paper_scale(self):
+        """Table I: GHRP metadata for a 64KB 8-way I-cache is ~5KB."""
+        geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+        breakdown = ghrp_storage(geometry)
+        assert 4.0 <= breakdown.total_kilobytes <= 6.5
+        # The paper quotes ~8% of a 64KB cache for the Exynos example;
+        # for this geometry the overhead must stay below 10%.
+        assert breakdown.overhead_fraction(geometry) < 0.10
+
+    def test_ghrp_items_present(self):
+        geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+        names = [item.component for item in ghrp_storage(geometry).items]
+        assert any("signature" in n.lower() for n in names)
+        assert any("prediction table" in n.lower() for n in names)
+        assert any("history" in n.lower() for n in names)
+
+    def test_sdbp_needs_more_storage(self):
+        """Section IV: 'The modified SDBP requires considerably more
+        storage' (full-size sampler + 8-bit counters)."""
+        geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
+        assert (
+            sdbp_storage(geometry).total_bits > ghrp_storage(geometry).total_bits
+        )
+
+    def test_render_contains_total(self):
+        geometry = CacheGeometry.from_capacity(16 * 1024, 4, 64)
+        text = ghrp_storage(geometry).render()
+        assert "Total" in text
+        assert "KB" in text

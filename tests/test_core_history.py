@@ -1,0 +1,99 @@
+"""Tests for the GHRP path history (Algorithm 2, Section III-F)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import GHRPConfig
+from repro.core.history import PathHistory
+
+
+class TestUpdateFormula:
+    def test_shift_in_three_bits_and_zero(self):
+        history = PathHistory(GHRPConfig())
+        # pc >> 2 low 3 bits = 0b101 for pc = 0b10100
+        history.update_speculative(0b10100)
+        assert history.speculative == 0b1010  # 3 pc bits then a zero bit
+
+    def test_four_accesses_fill_16_bits(self):
+        history = PathHistory(GHRPConfig())
+        for pc in (0x4, 0x8, 0xC, 0x10):
+            history.update_speculative(pc)
+        assert history.speculative <= 0xFFFF
+        # Oldest access must have been shifted to the top nibble.
+        assert (history.speculative >> 12) == ((0x4 >> 2) << 1)
+
+    def test_history_wraps_at_width(self):
+        history = PathHistory(GHRPConfig())
+        for pc in range(0, 400, 4):
+            history.update_speculative(pc)
+        assert history.speculative <= 0xFFFF
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), max_size=30))
+    def test_history_always_fits(self, pcs):
+        config = GHRPConfig()
+        history = PathHistory(config)
+        for pc in pcs:
+            history.update_both(pc)
+            assert 0 <= history.speculative < (1 << config.history_bits)
+            assert history.speculative == history.retired
+
+
+class TestSpeculationSplit:
+    def test_speculative_diverges_then_recovers(self):
+        history = PathHistory(GHRPConfig())
+        history.update_both(0x104)
+        checkpoint = history.retired
+        history.update_speculative(0x204)  # wrong-path fetch
+        history.update_speculative(0x308)
+        assert history.speculative != checkpoint
+        history.recover()
+        assert history.speculative == checkpoint
+        assert history.retired == checkpoint
+
+    def test_retire_only_updates_retired(self):
+        history = PathHistory(GHRPConfig())
+        history.update_retired(0x104)
+        assert history.speculative == 0
+        assert history.retired != 0
+
+    def test_clear(self):
+        history = PathHistory(GHRPConfig())
+        history.update_both(0x123456)
+        history.clear()
+        assert history.speculative == 0
+        assert history.retired == 0
+
+
+class TestSignature:
+    def test_signature_is_history_xor_pc(self):
+        config = GHRPConfig()
+        history = PathHistory(config)
+        history.update_both(0x40)
+        expected = (history.speculative ^ (0x1234 >> config.pc_shift)) & 0xFFFF
+        assert history.signature(0x1234) == expected
+
+    def test_signature_depends_on_path(self):
+        config = GHRPConfig()
+        a = PathHistory(config)
+        b = PathHistory(config)
+        a.update_both(0x44)
+        b.update_both(0x48)
+        assert a.signature(0x1000) != b.signature(0x1000)
+
+    def test_signature_depends_on_pc(self):
+        history = PathHistory(GHRPConfig())
+        history.update_both(0x40)
+        assert history.signature(0x1000) != history.signature(0x2000)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_signature_width(self, pc):
+        config = GHRPConfig()
+        history = PathHistory(config)
+        history.update_both(pc)
+        assert 0 <= history.signature(pc) < (1 << config.signature_bits)
+
+    def test_zero_interleaving_passes_pc_bits(self):
+        """The zero bits in the history let PC bits through the XOR: with
+        an empty history the signature is just the shifted PC."""
+        history = PathHistory(GHRPConfig())
+        assert history.signature(0x1234) == (0x1234 >> 2) & 0xFFFF

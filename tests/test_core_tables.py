@@ -1,0 +1,139 @@
+"""Tests for the skewed prediction table bank (Algorithms 3, 4, 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tables import Aggregation, PredictionTableBank
+
+
+def bank(**kwargs):
+    defaults = dict(num_tables=3, index_bits=8, counter_bits=2, initial_counter=0)
+    defaults.update(kwargs)
+    return PredictionTableBank(**defaults)
+
+
+class TestConstruction:
+    def test_majority_needs_odd_tables(self):
+        with pytest.raises(ValueError):
+            bank(num_tables=2)
+
+    def test_sum_allows_even_tables(self):
+        b = PredictionTableBank(2, 8, 2, aggregation=Aggregation.SUM)
+        assert b.num_tables == 2
+
+    def test_initial_counter_bounds(self):
+        with pytest.raises(ValueError):
+            bank(initial_counter=4)  # 2-bit counters max at 3
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            bank(num_tables=0)
+
+
+class TestTraining:
+    def test_dead_training_increments_all_tables(self):
+        b = bank()
+        b.train(0xAB, is_dead=True)
+        assert all(c == 1 for c in b.counters(b.indices(0xAB)))
+
+    def test_live_training_decrements(self):
+        b = bank()
+        b.train(0xAB, is_dead=True)
+        b.train(0xAB, is_dead=False)
+        assert all(c == 0 for c in b.counters(b.indices(0xAB)))
+
+    def test_saturation_high(self):
+        b = bank()
+        for _ in range(10):
+            b.train(0xAB, is_dead=True)
+        assert all(c == 3 for c in b.counters(b.indices(0xAB)))
+
+    def test_saturation_low(self):
+        b = bank()
+        for _ in range(10):
+            b.train(0xAB, is_dead=False)
+        assert all(c == 0 for c in b.counters(b.indices(0xAB)))
+
+    def test_telemetry(self):
+        b = bank()
+        b.train(1, True)
+        b.train(2, False)
+        b.predict(3, 2)
+        assert (b.increments, b.decrements, b.predictions) == (1, 1, 1)
+
+    @given(st.lists(st.tuples(st.integers(0, 0xFFFF), st.booleans()), max_size=200))
+    def test_counters_stay_in_range(self, events):
+        b = bank()
+        for signature, is_dead in events:
+            b.train(signature, is_dead)
+        for table in b._tables:
+            assert all(0 <= c <= 3 for c in table)
+
+
+class TestMajorityVote:
+    def test_dead_when_majority_saturated(self):
+        b = bank()
+        for _ in range(3):
+            b.train(0xAB, is_dead=True)
+        vote = b.predict(0xAB, threshold=3)
+        assert vote.is_dead
+        assert vote.votes_for_dead == 3
+
+    def test_live_when_below_threshold(self):
+        b = bank()
+        b.train(0xAB, is_dead=True)
+        vote = b.predict(0xAB, threshold=2)
+        assert not vote.is_dead
+
+    def test_majority_two_of_three(self):
+        b = bank()
+        indices = b.indices(0xAB)
+        # Manually saturate 2 of the 3 entries.
+        b._tables[0][indices[0]] = 3
+        b._tables[1][indices[1]] = 3
+        assert b.predict(0xAB, threshold=3).is_dead
+
+    def test_one_of_three_not_majority(self):
+        b = bank()
+        indices = b.indices(0xAB)
+        b._tables[0][indices[0]] = 3
+        assert not b.predict(0xAB, threshold=3).is_dead
+
+
+class TestSumAggregation:
+    def test_sum_threshold(self):
+        b = PredictionTableBank(
+            3, 8, 8, aggregation=Aggregation.SUM, sum_threshold=6
+        )
+        for _ in range(2):
+            b.train(0xAB, is_dead=True)
+        assert b.predict(0xAB, threshold=1).is_dead  # 2+2+2 >= 6
+
+    def test_sum_below_threshold(self):
+        b = PredictionTableBank(
+            3, 8, 8, aggregation=Aggregation.SUM, sum_threshold=6
+        )
+        b.train(0xAB, is_dead=True)
+        assert not b.predict(0xAB, threshold=1).is_dead
+
+
+class TestHousekeeping:
+    def test_reset_restores_initial(self):
+        b = bank(initial_counter=2)
+        b.train(0xAB, True)
+        b.predict(0xAB, 1)
+        b.reset()
+        assert all(c == 2 for c in b.counters(b.indices(0xAB)))
+        assert b.predictions == 0
+
+    def test_saturation_fraction(self):
+        b = bank()
+        assert b.saturation_fraction(1) == 0.0
+        b.train(0xAB, True)
+        assert b.saturation_fraction(1) > 0.0
+
+    def test_index_cache_consistency(self):
+        b = bank()
+        assert b.indices(0x12) == b.indices(0x12)
+        assert b.indices(0x12) is b.indices(0x12)  # memoized

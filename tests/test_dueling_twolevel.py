@@ -1,0 +1,128 @@
+"""Tests for the set-dueling meta-policy and the two-level BTB."""
+
+import pytest
+
+from repro.btb.two_level import TwoLevelBTB
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.dueling import SetDuelingPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.registry import make_policy
+
+
+def dueling_cache(policy_a=None, policy_b=None, sets=64, assoc=4, dueling_sets=8):
+    policy = SetDuelingPolicy(
+        policy_a or LRUPolicy(), policy_b or MRUPolicy(), dueling_sets=dueling_sets
+    )
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy), policy
+
+
+class TestSetDueling:
+    def test_leader_sets_disjoint_and_nonempty(self):
+        _, policy = dueling_cache()
+        assert policy._a_leaders and policy._b_leaders
+        assert not (policy._a_leaders & policy._b_leaders)
+
+    def test_psel_counts_leader_misses(self):
+        cache, policy = dueling_cache()
+        leader_a = min(policy._a_leaders)
+        before = policy._psel
+        # A miss (fill) in an A-leader set increments PSEL.
+        cache.access(leader_a * 64)
+        assert policy._psel == before + 1
+
+    def test_followers_switch_to_winner(self):
+        _, policy = dueling_cache()
+        policy._psel = policy._psel_max  # A's leaders miss much more
+        assert policy.follower_choice is policy.policy_b
+        policy._psel = 0
+        assert policy.follower_choice is policy.policy_a
+
+    def test_both_children_observe_all_events(self):
+        cache, policy = dueling_cache()
+        for i in range(200):
+            cache.access((i % 32) * 64)
+        # Children's recency state must be populated everywhere we touched.
+        assert any(any(row) for row in policy.policy_a._last_use)
+        assert any(any(row) for row in policy.policy_b._last_use)
+
+    def test_follower_victims_obey_winner(self):
+        cache, policy = dueling_cache(sets=64, assoc=4)
+        follower = next(
+            s for s in range(64)
+            if s not in policy._a_leaders and s not in policy._b_leaders
+        )
+        base = follower * 64
+        stride = 64 * 64
+        for i in range(4):
+            cache.access(base + i * stride)
+        cache.access(base)  # touch block 0: MRU and LRU victims now differ
+        policy._psel = 0  # use A = LRU
+        lru_victim = policy.select_victim(follower, None)
+        policy._psel = policy._psel_max  # use B = MRU
+        mru_victim = policy.select_victim(follower, None)
+        assert lru_victim != mru_victim
+
+    def test_ghrp_vs_lru_duel_runs(self):
+        cache, policy = dueling_cache(
+            policy_a=make_policy("ghrp"), policy_b=make_policy("lru")
+        )
+        for i in range(3000):
+            address = ((i * 37) % 1024) * 64
+            cache.access(address, pc=address)
+        assert cache.stats.accesses == 3000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetDuelingPolicy(LRUPolicy(), MRUPolicy(), dueling_sets=1)
+
+
+class TestTwoLevelBTB:
+    def make(self, l1=8, l2=64, assoc=4):
+        return TwoLevelBTB(l1, assoc, LRUPolicy(), l2, assoc, LRUPolicy())
+
+    def test_l1_hit(self):
+        btb = self.make()
+        btb.access(0x1000, 0x9000)
+        result = btb.access(0x1000, 0x9000)
+        assert result.l1_hit and result.hit
+        assert result.predicted_target == 0x9000
+
+    def test_l2_backs_up_l1_evictions(self):
+        btb = self.make(l1=4, l2=64, assoc=1)
+        # Fill L1 set 0 beyond capacity: pcs mapping to the same L1 set.
+        pcs = [0x0, 0x10, 0x20]  # L1 has 4 sets (assoc 1): stride 16 bytes
+        for pc in pcs:
+            btb.access(pc, 0x9000)
+        # All were full misses, so all are seeded in L2.
+        result = btb.access(pcs[0], 0x9000)
+        assert result.l2_hit or result.l1_hit
+
+    def test_full_miss_counted(self):
+        btb = self.make()
+        btb.access(0x1000, 0x9000)
+        assert btb.full_miss_count == 1
+        btb.access(0x1000, 0x9000)
+        assert btb.full_miss_count == 1
+
+    def test_mpki_modes(self):
+        btb = self.make()
+        btb.access(0x1000, 0x9000)
+        assert btb.mpki(1000) == pytest.approx(1.0)
+        assert btb.mpki(1000, count_l2_hits_as_misses=True) >= btb.mpki(1000)
+
+    def test_l2_must_be_larger(self):
+        with pytest.raises(ValueError):
+            TwoLevelBTB(64, 4, LRUPolicy(), 64, 4, LRUPolicy())
+
+    def test_two_level_beats_single_small_l1(self):
+        """With a working set bigger than L1 but within L2, the hierarchy
+        must convert most full misses into L2 hits."""
+        btb = self.make(l1=16, l2=256, assoc=4)
+        pcs = [0x1000 + 4 * i for i in range(64)]  # 64 branches > L1
+        for _ in range(5):
+            for pc in pcs:
+                btb.access(pc, 0x9000)
+        # After warm-up rounds, most accesses are L1 or L2 hits.
+        assert btb.full_miss_count <= len(pcs) + 10

@@ -1,0 +1,113 @@
+"""Deeper efficiency-tracker coverage: multi-generation accounting,
+invalidation, and agreement with hand-computed scenarios."""
+
+import pytest
+
+from repro.cache.efficiency import EfficiencyTracker
+from repro.cache.geometry import CacheGeometry
+
+
+def tracker(sets=1, ways=1):
+    return EfficiencyTracker(CacheGeometry(num_sets=sets, associativity=ways, block_size=64))
+
+
+class TestGenerationAccounting:
+    def test_two_generations_accumulate(self):
+        t = tracker()
+        # Generation 1: fill@1, hit@3, evict@5 -> live 2, total 4.
+        t.on_fill(0, 0, 1)
+        t.on_hit(0, 0, 3)
+        t.on_evict(0, 0, 5)
+        # Generation 2: fill@6, evict@8 -> live 0, total 2.
+        t.on_fill(0, 0, 6)
+        t.on_evict(0, 0, 8)
+        t.finalize(8)
+        matrix = t.efficiency_matrix()
+        assert matrix[0][0] == pytest.approx(2 / 6)
+
+    def test_finalize_closes_in_flight(self):
+        t = tracker()
+        t.on_fill(0, 0, 1)
+        t.on_hit(0, 0, 5)
+        t.finalize(9)
+        matrix = t.efficiency_matrix()
+        assert matrix[0][0] == pytest.approx(4 / 8)
+
+    def test_evict_without_fill_ignored(self):
+        t = tracker()
+        t.on_evict(0, 0, 5)  # frame was never filled
+        t.finalize(5)
+        assert t.efficiency_matrix()[0][0] == 0.0
+
+    def test_zero_duration_generation(self):
+        t = tracker()
+        t.on_fill(0, 0, 3)
+        t.on_evict(0, 0, 3)  # filled and evicted at the same tick
+        t.finalize(3)
+        assert t.efficiency_matrix()[0][0] == 0.0
+
+    def test_overall_weighted_by_residency(self):
+        t = tracker(sets=1, ways=2)
+        # Way 0: long, fully-live generation (live 9 / total 10).
+        t.on_fill(0, 0, 0)
+        t.on_hit(0, 0, 9)
+        t.on_evict(0, 0, 10)
+        # Way 1: long dead generation (live 0 / total 10).
+        t.on_fill(0, 1, 0)
+        t.on_evict(0, 1, 10)
+        t.finalize(10)
+        assert t.overall_efficiency == pytest.approx(9 / 20)
+
+    def test_recording_after_finalize_rejected(self):
+        t = tracker()
+        t.finalize(1)
+        with pytest.raises(RuntimeError):
+            t.on_fill(0, 0, 2)
+        with pytest.raises(RuntimeError):
+            t.on_hit(0, 0, 2)
+        with pytest.raises(RuntimeError):
+            t.on_evict(0, 0, 2)
+
+    def test_matrix_shape_matches_geometry(self):
+        t = tracker(sets=4, ways=3)
+        t.finalize(0)
+        assert t.efficiency_matrix().shape == (4, 3)
+
+
+class TestIntegrationWithCache:
+    def test_hot_loop_near_perfect_efficiency(self):
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.policies.lru import LRUPolicy
+
+        geometry = CacheGeometry(num_sets=1, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        for _ in range(500):
+            cache.access(0)
+            cache.access(64)
+        cache.finalize()
+        assert cache.efficiency.overall_efficiency > 0.99
+
+    def test_pure_streaming_near_zero_efficiency(self):
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.policies.lru import LRUPolicy
+
+        geometry = CacheGeometry(num_sets=1, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        for i in range(500):
+            cache.access(i * 64)  # never reused
+        cache.finalize()
+        assert cache.efficiency.overall_efficiency == 0.0
+
+    def test_invalidation_closes_generation(self):
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.policies.lru import LRUPolicy
+
+        geometry = CacheGeometry(num_sets=1, associativity=1, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        cache.access(0)
+        cache.access(0)
+        cache.invalidate(0)
+        cache.finalize()
+        # live 1 tick (t1->t2) of 1 total tick resident: ratio 1/1... the
+        # generation closed at invalidate time == last hit time.
+        assert cache.efficiency.efficiency_matrix()[0][0] == pytest.approx(1.0)

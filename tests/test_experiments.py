@@ -1,0 +1,212 @@
+"""Tests for the experiment harness (runner, figures, reports).
+
+These run real (tiny) simulations, so they exercise the whole stack
+end-to-end with small budgets.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.report import bar_chart, format_table
+from repro.experiments.runner import run_cell, run_grid
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    return [
+        make_workload("wa", Category.SHORT_MOBILE, seed=1, trace_scale=0.05,
+                      footprint_scale=0.4),
+        make_workload("wb", Category.SHORT_SERVER, seed=2, trace_scale=0.04,
+                      footprint_scale=0.25),
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    # Small structures so tiny traces still see pressure.
+    return FrontEndConfig(
+        icache_bytes=8 * 1024,
+        icache_assoc=4,
+        btb_entries=512,
+        btb_assoc=4,
+        warmup_cap_instructions=5_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(tiny_workloads, tiny_config):
+    return run_grid(tiny_workloads, ("lru", "random", "ghrp"), tiny_config)
+
+
+class TestRunner:
+    def test_cell_fields(self, tiny_workloads, tiny_config):
+        cell = run_cell(tiny_workloads[0], "lru", tiny_config)
+        assert cell.policy == "lru"
+        assert cell.workload == "wa"
+        assert cell.instructions > 0
+        assert cell.icache_mpki >= 0
+        assert cell.elapsed_seconds > 0
+
+    def test_grid_tables(self, tiny_grid):
+        icache = tiny_grid.icache
+        assert set(icache.policies) == {"lru", "random", "ghrp"}
+        assert icache.workloads == ["wa", "wb"]
+        btb = tiny_grid.btb
+        assert btb.workloads == ["wa", "wb"]
+
+    def test_grid_cell_lookup(self, tiny_grid):
+        cell = tiny_grid.cell("lru", "wa")
+        assert cell.policy == "lru"
+        with pytest.raises(KeyError):
+            tiny_grid.cell("lru", "nope")
+
+    def test_progress_callback(self, tiny_workloads, tiny_config):
+        seen = []
+        run_grid(tiny_workloads[:1], ("lru",), tiny_config, progress=seen.append)
+        assert len(seen) == 1
+
+
+class TestFigures:
+    def test_fig1_heatmap(self, tiny_workloads, tiny_config):
+        result = figures.fig1_icache_heatmap(
+            tiny_workloads[1], policies=("lru", "ghrp"), config=tiny_config
+        )
+        assert set(result.matrices) == {"lru", "ghrp"}
+        for matrix in result.matrices.values():
+            sets = tiny_config.icache_bytes // 64 // tiny_config.icache_assoc
+            # fig1 overrides capacity to 16KB with 8 ways
+            assert matrix.shape == (16 * 1024 // 64 // 8, 8)
+        assert all(0.0 <= v <= 1.0 for v in result.overall.values())
+        assert "Fig. 1" in result.render()
+
+    def test_fig2_set_sampling(self, tiny_workloads, tiny_config):
+        result = figures.fig2_set_sampling(tiny_workloads[1], config=tiny_config)
+        assert result.lru_mpki > 0
+        assert result.sampled_mpki > 0
+        assert result.full_mpki > 0
+        assert "set sampling" in result.render().lower()
+
+    def test_fig3_scurve(self, tiny_grid):
+        curve = figures.fig3_icache_scurve(tiny_grid)
+        assert curve.order == tuple(sorted(
+            curve.order, key=lambda w: dict(zip(curve.order, curve.series["lru"]))[w]
+        ))
+        assert set(curve.series) == {"lru", "random", "ghrp"}
+
+    def test_fig4_datapath(self):
+        check = figures.fig4_datapath()
+        assert check.majority_agreement == 1.0
+        assert check.distinct_index_fraction > 0.95
+        assert "datapath" in check.render()
+
+    def test_fig5_btb_heatmap(self, tiny_workloads, tiny_config):
+        result = figures.fig5_btb_heatmap(
+            tiny_workloads[1], policies=("lru", "ghrp"), config=tiny_config
+        )
+        for matrix in result.matrices.values():
+            assert matrix.shape == (256 // 8, 8)
+
+    def test_fig6_bars(self, tiny_grid):
+        bars = figures.fig6_icache_bars(tiny_grid, policies=("lru", "random", "ghrp"))
+        text = bars.render()
+        assert "AVERAGE" in text
+        assert "wa" in text
+
+    def test_fig7_sweep(self, tiny_workloads, tiny_config):
+        sweep = figures.fig7_config_sweep(
+            tiny_workloads[:1],
+            policies=("lru", "ghrp"),
+            configs=((8 * 1024, 4), (16 * 1024, 4)),
+            base_config=tiny_config,
+        )
+        assert len(sweep.means) == 2
+        # Bigger cache cannot have (much) higher mean MPKI.
+        small = sweep.means[(8 * 1024, 4)]["lru"]
+        large = sweep.means[(16 * 1024, 4)]["lru"]
+        assert large <= small * 1.05
+        assert "Fig. 7" in sweep.render()
+
+    def test_fig8_ci(self, tiny_grid):
+        results = figures.fig8_relative_ci(tiny_grid.icache, policies=("random", "ghrp"))
+        assert [r.policy for r in results] == ["random", "ghrp"]
+        for r in results:
+            assert r.ci_low <= r.mean <= r.ci_high
+
+    def test_fig9_winloss(self, tiny_grid):
+        results = figures.fig9_win_loss(tiny_grid.icache, policies=("random", "ghrp"))
+        for r in results:
+            assert r.total == 2
+
+    def test_fig10_fig11(self, tiny_grid):
+        bars = figures.fig10_btb_bars(tiny_grid, policies=("lru", "ghrp"))
+        assert "BTB" in bars.render()
+        curve = figures.fig11_btb_scurve(tiny_grid)
+        assert set(curve.series) == {"lru", "random", "ghrp"}
+
+    def test_table1(self):
+        ghrp, sdbp = figures.table1_storage()
+        assert 4.0 < ghrp.total_kilobytes < 6.5
+        assert sdbp.total_kilobytes > ghrp.total_kilobytes
+        assert "GHRP" in ghrp.render()
+
+    def test_headline(self, tiny_grid):
+        headline = figures.headline_numbers(
+            tiny_grid, policies=("lru", "random", "ghrp")
+        )
+        assert headline.suite_size == 2
+        assert 0 <= headline.subset_size <= 2
+        assert headline.improvement("icache", "lru") == 0.0
+        text = headline.render()
+        assert "I-cache mean MPKI" in text and "BTB mean MPKI" in text
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1.0, "x"), (22.5, "yy")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty_rows(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+    def test_bar_chart(self):
+        text = bar_chart(["x", "yy"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_chart_mismatched(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x"], [1.0, 2.0])
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], []) == "(empty)"
+
+
+class TestCategoryBreakdown:
+    def test_breakdown_by_category(self, tiny_workloads, tiny_grid):
+        from repro.experiments.figures import category_breakdown
+
+        breakdown = category_breakdown(
+            tiny_grid, tiny_workloads, structure="icache",
+            policies=("lru", "random", "ghrp"),
+        )
+        assert set(breakdown.means) == {"short-mobile", "short-server"}
+        for per_policy in breakdown.means.values():
+            assert set(per_policy) == {"lru", "random", "ghrp"}
+        text = breakdown.render()
+        assert "Per-category" in text and "short-server" in text
+
+    def test_btb_structure(self, tiny_workloads, tiny_grid):
+        from repro.experiments.figures import category_breakdown
+
+        breakdown = category_breakdown(
+            tiny_grid, tiny_workloads, structure="btb",
+            policies=("lru", "ghrp"),
+        )
+        assert "btb" in breakdown.structure

@@ -1,0 +1,112 @@
+"""Failure injection: corrupted inputs must fail loudly and precisely.
+
+The trace reader is the library's main external input surface; feed it
+garbage and assert it raises :class:`TraceFormatError` (never crashes
+with an arbitrary exception, never silently yields bogus records).
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.io import (
+    TraceFormatError,
+    TraceReader,
+    read_trace_text,
+    write_trace,
+)
+from repro.traces.record import BranchRecord, BranchType
+
+
+class TestBinaryCorruption:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=80)
+    def test_random_bytes_never_crash(self, blob):
+        """Arbitrary bytes either parse as records or raise TraceFormatError."""
+        stream = io.BytesIO(blob)
+        try:
+            reader = TraceReader(stream)
+            for record in reader:
+                assert isinstance(record, BranchRecord)
+        except TraceFormatError:
+            pass  # the expected failure mode
+        except ValueError as error:
+            # BranchRecord validation errors are also acceptable: they are
+            # precise rejections of semantically invalid records.
+            assert "branch" in str(error) or "taken" in str(error)
+
+    def test_corrupted_type_byte(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, [BranchRecord(0x1000, BranchType.CALL, True, 0x2000)])
+        data = bytearray(path.read_bytes())
+        data[-2] = 0xFF  # branch-type byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            list(__import__("repro.traces.io", fromlist=["read_trace"]).read_trace(path))
+
+    def test_header_only(self):
+        stream = io.BytesIO(b"RPTR\x01\x00\x00\x00")
+        assert list(TraceReader(stream)) == []
+
+    def test_empty_file(self):
+        with pytest.raises(TraceFormatError):
+            TraceReader(io.BytesIO(b""))
+
+    def test_version_from_future(self):
+        with pytest.raises(TraceFormatError):
+            TraceReader(io.BytesIO(b"RPTR\x63\x00\x00\x00"))
+
+
+class TestTextCorruption:
+    @given(st.text(max_size=200))
+    @settings(max_examples=80)
+    def test_random_text_never_crashes(self, text):
+        try:
+            for record in read_trace_text(io.StringIO(text)):
+                assert isinstance(record, BranchRecord)
+        except (TraceFormatError, ValueError):
+            pass
+
+    def test_negative_address_rejected(self):
+        with pytest.raises((TraceFormatError, ValueError)):
+            list(read_trace_text(io.StringIO("-0x4 CONDITIONAL T 0x0\n")))
+
+
+class TestSimulatorRobustness:
+    def test_frontend_survives_adversarial_trace(self):
+        """A hand-built pathological trace (jumps everywhere, immediate
+        returns, RAS underflows) must simulate without errors."""
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import build_frontend
+
+        records = [
+            BranchRecord(0x0, BranchType.RETURN, True, 0x10_0000),   # underflow
+            BranchRecord(0x10_0000, BranchType.INDIRECT, True, 0x4),
+            BranchRecord(0x4, BranchType.CALL, True, 0xFFFF_FF00),   # far call
+            BranchRecord(0xFFFF_FF04, BranchType.RETURN, True, 0x8),
+            BranchRecord(0x8, BranchType.CONDITIONAL, False, 0x0),
+            BranchRecord(0xC, BranchType.UNCONDITIONAL, True, 0xC),  # self loop
+            BranchRecord(0xC, BranchType.UNCONDITIONAL, True, 0x40),
+        ]
+        frontend = build_frontend(FrontEndConfig(icache_policy="ghrp"))
+        result = frontend.run(iter(records), warmup_instructions=0)
+        assert result.branches == len(records)
+        assert result.ras_underflows >= 1
+
+    def test_opt_policy_rejects_unexpected_stream(self):
+        """OPT with a stale preload must refuse, not mis-simulate."""
+        from repro.cache.geometry import CacheGeometry
+        from repro.cache.policy_api import PolicyError
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.policies.opt import BeladyOptPolicy
+
+        policy = BeladyOptPolicy()
+        policy.preload([0, 64, 128])
+        cache = SetAssociativeCache(
+            CacheGeometry(num_sets=1, associativity=2, block_size=64), policy
+        )
+        cache.access(0)
+        with pytest.raises(PolicyError):
+            cache.access(192)  # diverges from the preloaded future

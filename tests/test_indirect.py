@@ -1,0 +1,91 @@
+"""Tests for the ITTAGE-lite indirect target predictor."""
+
+import pytest
+
+from repro.branch.indirect import IndirectTargetPredictor
+from repro.util.rng import DeterministicRng
+
+
+class TestConstruction:
+    def test_history_lengths_must_match_tables(self):
+        with pytest.raises(ValueError):
+            IndirectTargetPredictor(num_tables=2, history_lengths=(4, 8, 16))
+
+    def test_history_lengths_must_increase(self):
+        with pytest.raises(ValueError):
+            IndirectTargetPredictor(history_lengths=(8, 4, 16))
+
+
+class TestPrediction:
+    def test_unknown_pc_predicts_none(self):
+        predictor = IndirectTargetPredictor()
+        assert predictor.predict(0x1000) is None
+
+    def test_learns_monomorphic_target(self):
+        predictor = IndirectTargetPredictor()
+        for _ in range(3):
+            predictor.predict_and_update(0x1000, 0x5000)
+        assert predictor.predict(0x1000) == 0x5000
+
+    def test_base_predictor_tracks_last_target(self):
+        predictor = IndirectTargetPredictor()
+        predictor.predict_and_update(0x1000, 0x5000)
+        predictor.predict_and_update(0x1000, 0x6000)
+        # Base fallback knows the most recent target.
+        assert predictor._base[0x1000] == 0x6000
+
+    def test_learns_history_correlated_targets(self):
+        """Target = f(previous branch direction): the tagged tables must
+        beat the last-target base predictor decisively."""
+        predictor = IndirectTargetPredictor()
+        rng = DeterministicRng(1)
+        correct = 0
+        trials = 3000
+        for _ in range(trials):
+            taken = rng.random() < 0.5
+            predictor.note_branch(0x1000, taken)
+            target = 0x5000 if taken else 0x6000
+            if predictor.predict_and_update(0x4000, target):
+                correct += 1
+        assert correct / trials > 0.9
+
+    def test_last_target_alone_cannot(self):
+        """Sanity check on the previous test: the 50/50 alternating target
+        stream is ~50% predictable from the last target alone."""
+        rng = DeterministicRng(1)
+        last = None
+        correct = 0
+        trials = 3000
+        for _ in range(trials):
+            taken = rng.random() < 0.5
+            target = 0x5000 if taken else 0x6000
+            if last == target:
+                correct += 1
+            last = target
+        assert correct / trials < 0.6
+
+    def test_stats(self):
+        predictor = IndirectTargetPredictor()
+        predictor.predict_and_update(0x1000, 0x5000)  # cold miss
+        predictor.predict_and_update(0x1000, 0x5000)  # now correct
+        assert predictor.stats.predictions == 2
+        assert predictor.stats.mispredictions == 1
+        assert predictor.stats.accuracy == pytest.approx(0.5)
+
+    def test_reset(self):
+        predictor = IndirectTargetPredictor()
+        predictor.note_branch(0x1000, True)
+        predictor.predict_and_update(0x1000, 0x5000)
+        predictor.reset()
+        assert predictor.predict(0x1000) is None
+        assert predictor._path_history == 0
+
+
+class TestPolymorphicSites:
+    def test_two_sites_independent(self):
+        predictor = IndirectTargetPredictor()
+        for _ in range(5):
+            predictor.predict_and_update(0x1000, 0xA000)
+            predictor.predict_and_update(0x2000, 0xB000)
+        assert predictor.predict(0x1000) == 0xA000
+        assert predictor.predict(0x2000) == 0xB000

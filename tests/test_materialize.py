@@ -1,0 +1,69 @@
+"""Tests for suite materialization (trace files + manifest)."""
+
+import pytest
+
+from repro.workloads.materialize import (
+    load_manifest,
+    materialize_suite,
+    materialized_records,
+)
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return [
+        make_workload("alpha", Category.SHORT_MOBILE, seed=1, trace_scale=0.02,
+                      footprint_scale=0.3),
+        make_workload("beta", Category.SHORT_MOBILE, seed=2, trace_scale=0.02,
+                      footprint_scale=0.3),
+    ]
+
+
+class TestMaterialize:
+    def test_writes_traces_and_manifest(self, tmp_path, tiny_suite):
+        entries = materialize_suite(tiny_suite, tmp_path)
+        assert len(entries) == 2
+        assert (tmp_path / "manifest.json").exists()
+        for workload, entry in zip(tiny_suite, entries):
+            assert entry.path(tmp_path).exists()
+            assert entry.branch_count == workload.spec.branch_budget
+
+    def test_roundtrip_records_identical(self, tmp_path, tiny_suite):
+        entries = materialize_suite(tiny_suite, tmp_path)
+        for workload, entry in zip(tiny_suite, entries):
+            replayed = list(materialized_records(tmp_path, entry))
+            assert replayed == list(workload.records())
+
+    def test_uncompressed_option(self, tmp_path, tiny_suite):
+        entries = materialize_suite(tiny_suite[:1], tmp_path, compress=False)
+        assert entries[0].trace_file.endswith(".trace")
+        assert entries[0].path(tmp_path).exists()
+
+    def test_load_manifest(self, tmp_path, tiny_suite):
+        written = materialize_suite(tiny_suite, tmp_path)
+        loaded = load_manifest(tmp_path)
+        assert loaded == written
+
+    def test_bad_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path)
+
+    def test_simulation_from_materialized_matches_generator(self, tmp_path, tiny_suite):
+        """Simulating the trace file must give bit-identical results to
+        simulating the generator stream."""
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import build_frontend
+
+        entries = materialize_suite(tiny_suite[:1], tmp_path)
+        workload = tiny_suite[0]
+        config = FrontEndConfig(icache_bytes=8 * 1024, icache_assoc=4, btb_entries=256)
+
+        live = build_frontend(config).run(workload.records(), warmup_instructions=1000)
+        replay = build_frontend(config).run(
+            materialized_records(tmp_path, entries[0]), warmup_instructions=1000
+        )
+        assert live.icache_mpki == replay.icache_mpki
+        assert live.btb_mpki == replay.btb_mpki

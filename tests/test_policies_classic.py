@@ -1,0 +1,198 @@
+"""Tests for the classical replacement policies (LRU, MRU, FIFO, Random,
+NRU, Tree-PLRU) and the policy registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies import (
+    FIFOPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+
+def cache_with(policy, sets=1, assoc=4):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy)
+
+
+def fill_set(cache, count, stride=64 * 1):
+    """Touch ``count`` distinct blocks mapping to set 0 of a 1-set cache."""
+    for i in range(count):
+        cache.access(i * 64)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = cache_with(LRUPolicy())
+        fill_set(cache, 4)          # blocks 0..3, LRU order 0,1,2,3
+        cache.access(0)             # touch 0; LRU is now 1
+        result = cache.access(4 * 64)
+        assert result.victim_address == 1 * 64
+
+    def test_lru_order_helper(self):
+        policy = LRUPolicy()
+        cache = cache_with(policy)
+        fill_set(cache, 4)
+        cache.access(2 * 64)
+        assert policy.lru_order(0) == [0, 1, 3, 2]
+
+    def test_hit_promotes(self):
+        cache = cache_with(LRUPolicy(), assoc=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # promote block 0
+        result = cache.access(128)
+        assert result.victim_address == 64
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_matches_reference_model(self, accesses):
+        """LRU against a list-based reference simulator."""
+        cache = cache_with(LRUPolicy(), assoc=4)
+        reference: list[int] = []  # most recent last
+        for block_index in accesses:
+            address = block_index * 64
+            result = cache.access(address)
+            if block_index in reference:
+                assert result.hit
+                reference.remove(block_index)
+            else:
+                assert result.miss
+                if len(reference) == 4:
+                    evicted = reference.pop(0)
+                    assert result.victim_address == evicted * 64
+            reference.append(block_index)
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        cache = cache_with(MRUPolicy())
+        fill_set(cache, 4)
+        result = cache.access(4 * 64)
+        assert result.victim_address == 3 * 64
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        cache = cache_with(FIFOPolicy())
+        fill_set(cache, 4)
+        cache.access(0)  # hit does not refresh FIFO age
+        result = cache.access(4 * 64)
+        assert result.victim_address == 0
+
+    def test_evicts_in_fill_order(self):
+        cache = cache_with(FIFOPolicy(), assoc=2)
+        cache.access(0)
+        cache.access(64)
+        assert cache.access(128).victim_address == 0
+        assert cache.access(192).victim_address == 64
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        def victims(seed):
+            cache = cache_with(RandomPolicy(seed=seed))
+            fill_set(cache, 4)
+            return [cache.access((4 + i) * 64).victim_address for i in range(10)]
+
+        assert victims(1) == victims(1)
+
+    def test_different_seeds_diverge(self):
+        def victims(seed):
+            cache = cache_with(RandomPolicy(seed=seed))
+            fill_set(cache, 4)
+            return [cache.access((4 + i) * 64).victim_address for i in range(10)]
+
+        assert victims(1) != victims(2)
+
+    def test_victims_span_all_ways(self):
+        policy = RandomPolicy(seed=3)
+        cache = cache_with(policy)
+        fill_set(cache, 4)
+        ways = {policy.select_victim(0, None) for _ in range(100)}
+        assert ways == {0, 1, 2, 3}
+
+
+class TestNRU:
+    def test_evicts_unreferenced(self):
+        policy = NRUPolicy()
+        cache = cache_with(policy, assoc=4)
+        fill_set(cache, 4)  # every fill marks; last fill (3) triggers reset
+        # After the reset, only way 3 (block 3) is marked.
+        result = cache.access(4 * 64)
+        assert result.victim_address == 0
+
+    def test_reference_bits_reset_keeps_last(self):
+        policy = NRUPolicy()
+        cache = cache_with(policy, assoc=2)
+        cache.access(0)
+        cache.access(64)  # marks way 1, triggers reset: only way 1 marked
+        result = cache.access(128)
+        assert result.victim_address == 0
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        geometry = CacheGeometry(num_sets=2, associativity=3, block_size=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(geometry, TreePLRUPolicy())
+
+    def test_victim_is_not_most_recent(self):
+        cache = cache_with(TreePLRUPolicy(), assoc=4)
+        fill_set(cache, 4)
+        cache.access(2 * 64)
+        result = cache.access(4 * 64)
+        assert result.victim_address != 2 * 64
+
+    def test_exact_lru_for_two_ways(self):
+        """With 2 ways, tree PLRU degenerates to exact LRU."""
+        cache = cache_with(TreePLRUPolicy(), assoc=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)
+        assert cache.access(128).victim_address == 64
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=20, max_size=60))
+    @settings(max_examples=30)
+    def test_plru_miss_rate_close_to_lru(self, accesses):
+        """PLRU approximates LRU: on any access pattern its miss count
+        stays within a reasonable factor of true LRU's."""
+        plru = cache_with(TreePLRUPolicy(), assoc=8)
+        lru = cache_with(LRUPolicy(), assoc=8)
+        for block_index in accesses:
+            plru.access(block_index * 64)
+            lru.access(block_index * 64)
+        assert plru.stats.misses <= lru.stats.misses * 2 + 8
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("srrip", rrpv_bits=3)
+        assert policy.rrpv_max == 7
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("lru", LRUPolicy)
+
+    def test_expected_policies_present(self):
+        names = set(available_policies())
+        assert {"lru", "random", "srrip", "sdbp", "ghrp", "opt", "fifo"} <= names

@@ -1,0 +1,83 @@
+"""Contract tests: every registered policy honours the engine's API.
+
+Parametrized over the whole registry, these catch violations of the
+documented contract (docs/writing_policies.md) that individual policy
+tests might not exercise: victim range, bypass restraint, state
+allocation shape, reset safety.
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import AccessContext
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.registry import available_policies, make_policy
+
+ONLINE_POLICIES = tuple(p for p in available_policies() if p != "opt")
+
+
+def fresh_cache(name, sets=4, assoc=4):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, make_policy(name))
+
+
+@pytest.mark.parametrize("name", ONLINE_POLICIES)
+class TestEveryPolicy:
+    def test_victims_always_in_range(self, name):
+        cache = fresh_cache(name)
+        for i in range(300):
+            address = ((i * 97) % 40) * 64
+            result = cache.access(address, pc=address)
+            if result.way is not None:
+                assert 0 <= result.way < 4
+
+    def test_no_bypass_means_block_resident(self, name):
+        cache = fresh_cache(name)
+        for i in range(100):
+            address = ((i * 31) % 24) * 64
+            result = cache.access(address, pc=address)
+            if not result.bypassed:
+                assert cache.contains(address)
+
+    def test_hits_are_consistent_with_residency(self, name):
+        cache = fresh_cache(name)
+        resident = set()
+        for i in range(300):
+            block = (i * 53) % 32
+            address = block * 64
+            result = cache.access(address, pc=address)
+            if result.hit:
+                assert block in resident
+            if result.bypassed:
+                resident.discard(block)
+            else:
+                resident.add(block)
+                if result.victim_address is not None:
+                    resident.discard(result.victim_address // 64)
+
+    def test_reset_generation_is_safe_anytime(self, name):
+        cache = fresh_cache(name)
+        for i in range(50):
+            cache.access(i * 64, pc=i * 64)
+        cache.policy.reset_generation()
+        for i in range(50):
+            cache.access(i * 64, pc=i * 64)
+
+    def test_predicts_dead_is_boolean(self, name):
+        cache = fresh_cache(name)
+        for i in range(50):
+            cache.access(i * 64, pc=i * 64)
+        for set_index in range(4):
+            for way in range(4):
+                assert cache.policy.predicts_dead(set_index, way) in (True, False)
+
+    def test_should_bypass_side_effect_budget(self, name):
+        """should_bypass on a random cold address must not corrupt state:
+        a subsequent access stream still satisfies the accounting identity."""
+        cache = fresh_cache(name)
+        ctx = AccessContext(address=0x9 * 64, pc=0x9 * 64)
+        cache.policy.should_bypass(0, ctx)
+        for i in range(100):
+            cache.access((i % 16) * 64, pc=(i % 16) * 64)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses

@@ -1,0 +1,110 @@
+"""Tests for the Section II-B classical dead-block policies
+(reference-trace / Lai-style and counter-based / Kharbutli-style)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.deadblock import CounterDBPPolicy, ReferenceTracePolicy
+
+
+def cache_with(policy, sets=1, assoc=4):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy)
+
+
+class TestReferenceTrace:
+    def test_signature_accumulates_per_block(self):
+        policy = ReferenceTracePolicy()
+        cache = cache_with(policy)
+        cache.access(0x1000, pc=0x1000)
+        first = policy._signatures[0][0]
+        cache.access(0x1004, pc=0x1004)  # same block, trace grows
+        assert policy._signatures[0][0] != first
+
+    def test_eviction_trains_dead(self):
+        policy = ReferenceTracePolicy()
+        cache = cache_with(policy, assoc=1)
+        cache.access(0x0000, pc=0x0000)
+        before = policy.tables.increments
+        cache.access(0x1000, pc=0x1000)
+        assert policy.tables.increments == before + 1
+
+    def test_reuse_trains_live(self):
+        policy = ReferenceTracePolicy()
+        cache = cache_with(policy)
+        cache.access(0x1000, pc=0x1000)
+        before = policy.tables.decrements
+        cache.access(0x1000, pc=0x1000)
+        assert policy.tables.decrements == before + 1
+
+    def test_dead_victim_preferred(self):
+        policy = ReferenceTracePolicy()
+        cache = cache_with(policy)
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        policy._pred_dead[0][2] = True
+        assert cache.access(4 * 64, pc=4 * 64).way == 2
+
+    def test_falls_back_to_lru(self):
+        policy = ReferenceTracePolicy()
+        cache = cache_with(policy)
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        assert cache.access(4 * 64, pc=4 * 64).victim_address == 0
+
+    def test_repeating_death_pattern_learned(self):
+        """A block filled and immediately evicted by the same PC pattern
+        should eventually be predicted dead at fill."""
+        policy = ReferenceTracePolicy(initial_counter=0, dead_threshold=2)
+        cache = cache_with(policy, sets=1, assoc=1)
+        # Alternate two blocks: every generation is fill -> evict (n=1).
+        for i in range(12):
+            address = (i % 2) * 0x1000
+            cache.access(address, pc=address)
+        assert policy.tables.increments >= 10
+        # The fill signature of block 0 must now be saturated dead.
+        signature = policy._fold(0, 0x0000)
+        assert policy.tables.predict(signature, 2).is_dead
+
+
+class TestCounterDBP:
+    def test_learns_access_count(self):
+        policy = CounterDBPPolicy()
+        cache = cache_with(policy, sets=1, assoc=1)
+        # Generation: 3 accesses then eviction, repeatedly.
+        for _ in range(4):
+            for _ in range(3):
+                cache.access(0x0000, pc=0x0000)
+            cache.access(0x1000, pc=0x1000)  # evict block 0
+            cache.access(0x0000, pc=0x0000)  # evict block 0x1000 -> learn
+        index = policy._index_of(0x0000)
+        assert policy._learned[index] >= 2
+
+    def test_predicts_dead_past_learned_count(self):
+        policy = CounterDBPPolicy(slack=0)
+        cache = cache_with(policy, sets=1, assoc=2)
+        index = policy._index_of(0x0000)
+        policy._learned[index] = 2
+        cache.access(0x0000, pc=0x0000)  # count 1
+        assert not policy.predicts_dead(0, 0)
+        cache.access(0x0000, pc=0x0000)  # count 2 == learned
+        assert policy.predicts_dead(0, 0)
+
+    def test_unlearned_predicts_live(self):
+        policy = CounterDBPPolicy()
+        cache = cache_with(policy)
+        cache.access(0x0000, pc=0x0000)
+        assert not policy.predicts_dead(0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterDBPPolicy(max_count=0)
+        with pytest.raises(ValueError):
+            CounterDBPPolicy(slack=-1)
+
+    def test_registry_names(self):
+        from repro.policies.registry import make_policy
+
+        assert make_policy("reftrace").name == "reftrace"
+        assert make_policy("counter-dbp").name == "counter-dbp"

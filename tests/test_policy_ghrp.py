@@ -1,0 +1,220 @@
+"""Tests for the GHRP replacement policy (Algorithm 1) and its BTB mode."""
+
+from repro.btb.btb import BranchTargetBuffer
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.config import GHRPConfig
+from repro.core.ghrp import GHRPPredictor
+from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
+
+
+def untrained_config(**overrides):
+    """A config whose fresh tables predict nothing dead (init 0)."""
+    defaults = dict(initial_counter=0, dead_threshold=2, bypass_threshold=3)
+    defaults.update(overrides)
+    return GHRPConfig(**defaults)
+
+
+def ghrp_cache(config=None, sets=1, assoc=4):
+    policy = GHRPPolicy(config=config or untrained_config())
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy), policy
+
+
+class TestMetadata:
+    def test_fill_stores_signature_and_prediction(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1000, pc=0x1000)
+        assert policy.stored_signature(0, 0) is not None
+        assert policy.predicts_dead(0, 0) is False  # untrained tables
+
+    def test_hit_refreshes_signature(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1000, pc=0x1000)
+        first = policy.stored_signature(0, 0)
+        cache.access(0x1004, pc=0x1004)  # same block, history has advanced
+        assert policy.stored_signature(0, 0) != first
+
+    def test_eviction_clears_metadata(self):
+        cache, policy = ghrp_cache(assoc=1)
+        cache.access(0x0000, pc=0x0000)
+        cache.access(0x1000, pc=0x1000)  # evicts, then fills
+        # Metadata now describes the new block, trained from the victim.
+        assert policy.stored_signature(0, 0) is not None
+
+    def test_stored_signature_for_probes_cache(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1000, pc=0x1000)
+        assert policy.stored_signature_for(0x1004) == policy.stored_signature(0, 0)
+        assert policy.stored_signature_for(0x9000) is None
+
+
+class TestTraining:
+    def test_eviction_trains_dead(self):
+        cache, policy = ghrp_cache(assoc=1)
+        cache.access(0x0000, pc=0x0000)
+        before = policy.predictor.tables.increments
+        cache.access(0x1000, pc=0x1000)
+        assert policy.predictor.tables.increments == before + 1
+
+    def test_hit_trains_live(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1000, pc=0x1000)
+        before = policy.predictor.tables.decrements
+        cache.access(0x1000, pc=0x1000)
+        assert policy.predictor.tables.decrements == before + 1
+
+    def test_wrong_path_suppresses_training(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1000, pc=0x1000)
+        policy.wrong_path = True
+        before_inc = policy.predictor.tables.increments
+        before_dec = policy.predictor.tables.decrements
+        cache.access(0x1000, pc=0x1000)  # hit on wrong path
+        assert policy.predictor.tables.decrements == before_dec
+        assert policy.predictor.tables.increments == before_inc
+
+    def test_wrong_path_training_opt_in(self):
+        policy = GHRPPolicy(config=untrained_config(), train_on_wrong_path=True)
+        geometry = CacheGeometry(num_sets=1, associativity=4, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        cache.access(0x1000, pc=0x1000)
+        policy.wrong_path = True
+        before = policy.predictor.tables.decrements
+        cache.access(0x1000, pc=0x1000)
+        assert policy.predictor.tables.decrements == before + 1
+
+
+class TestVictimSelection:
+    def test_predicted_dead_evicted_first(self):
+        cache, policy = ghrp_cache()
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        policy._pred_dead[0][2] = True  # force way 2 dead
+        result = cache.access(4 * 64, pc=4 * 64)
+        assert result.way == 2
+        assert result.victim_address == 2 * 64
+
+    def test_falls_back_to_lru(self):
+        cache, policy = ghrp_cache()
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        result = cache.access(4 * 64, pc=4 * 64)
+        assert result.victim_address == 0  # LRU order
+
+    def test_dead_eviction_counted_in_stats(self):
+        cache, policy = ghrp_cache()
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        policy._pred_dead[0][1] = True
+        cache.access(4 * 64, pc=4 * 64)
+        assert cache.stats.dead_evictions == 1
+
+
+class TestBypass:
+    def test_bypass_when_tables_vote(self):
+        config = untrained_config(dead_threshold=1, bypass_threshold=1)
+        cache, policy = ghrp_cache(config)
+        predictor = policy.predictor
+        # Saturate the signature the next miss will see.
+        signature = predictor.signature(0x2000)
+        for _ in range(3):
+            predictor.train(signature, is_dead=True)
+        result = cache.access(0x2000, pc=0x2000)
+        assert result.bypassed
+        assert cache.stats.bypasses == 1
+        assert not cache.contains(0x2000)
+
+    def test_bypass_disabled(self):
+        config = untrained_config(dead_threshold=1, bypass_threshold=1)
+        policy = GHRPPolicy(config=config, enable_bypass=False)
+        geometry = CacheGeometry(num_sets=1, associativity=4, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        signature = policy.predictor.signature(0x2000)
+        for _ in range(3):
+            policy.predictor.train(signature, is_dead=True)
+        result = cache.access(0x2000, pc=0x2000)
+        assert not result.bypassed
+
+    def test_bypass_advances_history(self):
+        config = untrained_config(dead_threshold=1, bypass_threshold=1)
+        cache, policy = ghrp_cache(config)
+        signature = policy.predictor.signature(0x2004)
+        for _ in range(3):
+            policy.predictor.train(signature, is_dead=True)
+        before = policy.predictor.history.speculative
+        cache.access(0x2004, pc=0x2004)
+        assert policy.predictor.history.speculative != before
+
+
+class TestResetGeneration:
+    def test_reset_clears_history_and_flag(self):
+        cache, policy = ghrp_cache()
+        cache.access(0x1004, pc=0x1004)
+        policy.wrong_path = True
+        policy.reset_generation()
+        assert policy.predictor.history.speculative == 0
+        assert policy.wrong_path is False
+
+
+class TestBTBCoupling:
+    def _coupled(self):
+        predictor = GHRPPredictor(untrained_config())
+        icache_policy = GHRPPolicy(predictor=predictor)
+        geometry = CacheGeometry(num_sets=8, associativity=4, block_size=64)
+        icache = SetAssociativeCache(geometry, icache_policy)
+        btb_policy = GHRPBTBPolicy(predictor=predictor, icache_policy=icache_policy)
+        btb = BranchTargetBuffer(64, 4, btb_policy)
+        return predictor, icache, icache_policy, btb, btb_policy
+
+    def test_shared_mode_flag(self):
+        predictor, icache, icache_policy, btb, btb_policy = self._coupled()
+        assert not btb_policy.standalone
+
+    def test_uses_icache_signature_when_resident(self):
+        predictor, icache, icache_policy, btb, btb_policy = self._coupled()
+        icache.access(0x1000, pc=0x1000)
+        stored = icache_policy.stored_signature_for(0x1010)
+        assert btb_policy._signature_for(0x1010) == stored
+
+    def test_falls_back_when_block_absent(self):
+        predictor, icache, icache_policy, btb, btb_policy = self._coupled()
+        assert btb_policy._signature_for(0x5000) == predictor.signature(0x5000)
+
+    def test_btb_does_not_train_tables_in_shared_mode(self):
+        predictor, icache, icache_policy, btb, btb_policy = self._coupled()
+        before = (predictor.tables.increments, predictor.tables.decrements)
+        for i in range(100):
+            btb.access(0x1000 + i * 4, target=0x9000)
+        assert (predictor.tables.increments, predictor.tables.decrements) == before
+
+    def test_btb_does_not_advance_history_in_shared_mode(self):
+        predictor, icache, icache_policy, btb, btb_policy = self._coupled()
+        before = predictor.history.speculative
+        btb.access(0x1004, target=0x9000)
+        assert predictor.history.speculative == before
+
+    def test_standalone_trains_and_advances(self):
+        predictor = GHRPPredictor(untrained_config())
+        btb_policy = GHRPBTBPolicy(predictor=predictor, icache_policy=None)
+        btb = BranchTargetBuffer(16, 4, btb_policy)
+        assert btb_policy.standalone
+        btb.access(0x1004, target=0x9000)
+        assert predictor.history.speculative != 0
+        # Force evictions to observe dead training.
+        for i in range(64):
+            btb.access(0x1000 + i * 64 * 4, target=0x9000)  # hmm: spread sets
+        # At least some training activity must have happened.
+        assert predictor.tables.increments + predictor.tables.decrements > 0
+
+    def test_btb_victim_prefers_dead(self):
+        predictor = GHRPPredictor(untrained_config())
+        btb_policy = GHRPBTBPolicy(predictor=predictor, icache_policy=None)
+        btb = BranchTargetBuffer(16, 4, btb_policy)
+        # Fill one set: entries with pcs mapping to set 0 (stride 4*4).
+        pcs = [0x0, 0x10, 0x20, 0x30]
+        for pc in pcs:
+            btb.access(pc, target=0x9000)
+        btb_policy._pred_dead[0][1] = True
+        btb.access(0x40, target=0x9000)
+        assert not btb.contains(pcs[1])

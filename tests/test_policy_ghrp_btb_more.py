@@ -1,0 +1,90 @@
+"""Additional GHRP-BTB coverage: threshold separation, bypass paths,
+and the predictor-sharing storage claim."""
+
+from repro.btb.btb import BranchTargetBuffer
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.config import GHRPConfig
+from repro.core.ghrp import GHRPPredictor
+from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
+
+
+def coupled_pair(config=None, btb_entries=64, btb_assoc=4):
+    config = config or GHRPConfig(initial_counter=0)
+    predictor = GHRPPredictor(config)
+    icache_policy = GHRPPolicy(predictor=predictor)
+    icache = SetAssociativeCache(
+        CacheGeometry(num_sets=8, associativity=4, block_size=64), icache_policy
+    )
+    btb_policy = GHRPBTBPolicy(predictor=predictor, icache_policy=icache_policy)
+    btb = BranchTargetBuffer(btb_entries, btb_assoc, btb_policy)
+    return predictor, icache, icache_policy, btb, btb_policy
+
+
+class TestThresholdSeparation:
+    def test_btb_uses_its_own_threshold(self):
+        """A signature whose counters sit between the BTB and I-cache
+        thresholds must be dead for one structure and live for the other."""
+        config = GHRPConfig(
+            initial_counter=0, dead_threshold=3, btb_dead_threshold=1,
+            bypass_threshold=3, btb_bypass_threshold=3,
+        )
+        predictor, icache, icache_policy, btb, btb_policy = coupled_pair(config)
+        signature = predictor.signature(0x1000)
+        predictor.train(signature, is_dead=True)  # counters at 1
+        assert not predictor.predict_dead(signature, config.dead_threshold).is_dead
+        assert predictor.predict_dead(signature, config.btb_dead_threshold).is_dead
+
+
+class TestCoupledPredictions:
+    def test_btb_entry_marked_dead_when_block_signature_is_dead(self):
+        config = GHRPConfig(
+            initial_counter=0, dead_threshold=3, btb_dead_threshold=1,
+        )
+        predictor, icache, icache_policy, btb, btb_policy = coupled_pair(config)
+        # Resident I-cache block for the branch.
+        icache.access(0x1000, pc=0x1000)
+        stored = icache_policy.stored_signature_for(0x1000)
+        predictor.train(stored, is_dead=True)  # make that signature dead@1
+        result = btb.access(0x1000, target=0x9000)
+        assert not result.hit
+        set_index = btb.geometry.set_index(0x1000)
+        way = btb._cache.probe(0x1000)
+        assert btb_policy.predicts_dead(set_index, way)
+
+    def test_btb_bypass_uses_btb_threshold(self):
+        config = GHRPConfig(
+            initial_counter=0, dead_threshold=3, btb_dead_threshold=1,
+            bypass_threshold=3, btb_bypass_threshold=1,
+        )
+        predictor, icache, icache_policy, btb, btb_policy = coupled_pair(config)
+        icache.access(0x1000, pc=0x1000)
+        stored = icache_policy.stored_signature_for(0x1000)
+        predictor.train(stored, is_dead=True)
+        result = btb.access(0x1000, target=0x9000)
+        assert result.bypassed
+        assert not btb.contains(0x1000)
+
+    def test_no_extra_tables_allocated(self):
+        """The shared design's storage claim: one table bank serves both
+        structures (identity, not copies)."""
+        predictor, icache, icache_policy, btb, btb_policy = coupled_pair()
+        assert btb_policy.predictor is icache_policy.predictor
+        assert btb_policy.predictor.tables is icache_policy.predictor.tables
+        # Shared mode keeps no per-entry signature storage.
+        assert btb_policy._signatures == []
+
+
+class TestEndToEndCoupled:
+    def test_branchy_run_consistent(self):
+        predictor, icache, icache_policy, btb, btb_policy = coupled_pair()
+        for i in range(4000):
+            pc = 0x1000 + (i * 52 % 2048)
+            icache.access(pc, pc=pc)
+            if i % 3 == 0:
+                btb.access(pc, target=0x9000 + (pc & 0xFF))
+        assert icache.stats.accesses == 4000
+        assert btb.stats.accesses > 0
+        # Counters stayed within their 2-bit range.
+        for table in predictor.tables._tables:
+            assert all(0 <= c <= 3 for c in table)

@@ -1,0 +1,91 @@
+"""Tests for Belady's OPT (offline-optimal replacement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.policy_api import PolicyError
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.lru import LRUPolicy
+from repro.policies.opt import BeladyOptPolicy
+
+
+def run_opt(block_indices, assoc=2, sets=1):
+    addresses = [b * 64 for b in block_indices]
+    policy = BeladyOptPolicy()
+    policy.preload(addresses)
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    cache = SetAssociativeCache(geometry, policy)
+    for address in addresses:
+        cache.access(address)
+    return cache
+
+
+def run_lru(block_indices, assoc=2, sets=1):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    cache = SetAssociativeCache(geometry, LRUPolicy())
+    for b in block_indices:
+        cache.access(b * 64)
+    return cache
+
+
+class TestCorrectness:
+    def test_requires_preload(self):
+        policy = BeladyOptPolicy()
+        geometry = CacheGeometry(num_sets=1, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        with pytest.raises(PolicyError):
+            cache.access(0)
+
+    def test_detects_divergence(self):
+        policy = BeladyOptPolicy()
+        policy.preload([0, 64])
+        geometry = CacheGeometry(num_sets=1, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        with pytest.raises(PolicyError):
+            cache.access(128)  # not the preloaded access
+
+    def test_evicts_farthest_next_use(self):
+        # Accesses: 0 1 2 0 1 — with 2 ways, inserting 2 must evict 1
+        # (next use of 0 is sooner? no: 0 at position 3, 1 at position 4;
+        # farthest is 1).
+        cache = run_opt([0, 1, 2, 0, 1])
+        # misses: 0,1,2 then 0 hit? 0 was kept, 1 evicted -> 0 hits, 1 misses.
+        assert cache.stats.misses == 4
+
+    def test_classic_beats_lru_on_cyclic(self):
+        pattern = [0, 1, 2] * 20  # cyclic over 3 blocks, 2 ways
+        opt_misses = run_opt(pattern).stats.misses
+        lru_misses = run_lru(pattern).stats.misses
+        assert lru_misses == len(pattern)  # LRU is pessimal here
+        assert opt_misses < lru_misses
+
+    def test_never_used_again_is_preferred_victim(self):
+        # Inserting 2 evicts block 0 (farthest next use); the never-reused
+        # block 2 is then the victim when 0 returns.  4 misses is optimal:
+        # the three compulsory misses plus one unavoidable re-miss of 0.
+        cache = run_opt([0, 1, 2, 1, 0, 1, 0])
+        assert cache.stats.misses == 4
+
+
+class TestOptimality:
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_never_worse_than_lru(self, pattern):
+        """OPT is optimal, hence <= LRU on every pattern (same set)."""
+        opt_misses = run_opt(pattern, assoc=2).stats.misses
+        lru_misses = run_lru(pattern, assoc=2).stats.misses
+        assert opt_misses <= lru_misses
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_multiset_never_worse_than_lru(self, pattern):
+        opt_misses = run_opt(pattern, assoc=2, sets=2).stats.misses
+        lru_misses = run_lru(pattern, assoc=2, sets=2).stats.misses
+        assert opt_misses <= lru_misses
+
+    def test_compulsory_misses_lower_bound(self):
+        pattern = [0, 1, 2, 3, 0, 1, 2, 3]
+        cache = run_opt(pattern, assoc=4)
+        assert cache.stats.misses == 4  # only compulsory misses

@@ -1,0 +1,119 @@
+"""Tests for the modified SDBP policy (Section IV-A)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.sdbp import SDBPConfig, SDBPPolicy
+
+
+def sdbp_cache(config=None, sets=4, assoc=2):
+    policy = SDBPPolicy(config or SDBPConfig())
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy), policy
+
+
+class TestConfig:
+    def test_defaults_match_paper_modifications(self):
+        config = SDBPConfig()
+        assert config.counter_bits == 8      # "8-bit counters"
+        assert config.num_tables == 3        # "three skewed prediction tables"
+        assert config.sampler_set_stride == 1  # "sampler is as large as the cache"
+        assert config.signature_bits == 12   # "12 bits as partial PC"
+        assert config.sampler_tag_bits == 16  # "16 bits of tag"
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            SDBPConfig(dead_sum_threshold=0)
+        with pytest.raises(ValueError):
+            SDBPConfig(bypass_sum_threshold=10**6)
+
+    def test_stride_validated(self):
+        with pytest.raises(ValueError):
+            SDBPConfig(sampler_set_stride=0)
+
+
+class TestSampler:
+    def test_full_sampler_covers_every_set(self):
+        cache, policy = sdbp_cache(sets=8)
+        assert len(policy._sampled_sets) == 8
+
+    def test_strided_sampler_covers_subset(self):
+        cache, policy = sdbp_cache(SDBPConfig(sampler_set_stride=4), sets=8)
+        assert set(policy._sampled_sets) == {0, 4}
+
+    def test_sampler_miss_then_hit(self):
+        cache, policy = sdbp_cache()
+        cache.access(0x0000, pc=0x0000)
+        entry = policy._sampler[0][0]
+        assert entry.valid
+        before = policy.tables.decrements
+        cache.access(0x0000, pc=0x0000)  # sampler hit -> live training
+        assert policy.tables.decrements == before + 1
+
+    def test_sampler_eviction_trains_dead(self):
+        cache, policy = sdbp_cache(assoc=2)
+        # Three distinct blocks in the same (sampled) set overflow the
+        # 2-way sampler row.
+        for i in range(3):
+            cache.access(i * 64 * 4, pc=i * 64 * 4)
+        assert policy.tables.increments >= 1
+
+    def test_unsampled_set_never_trains(self):
+        cache, policy = sdbp_cache(SDBPConfig(sampler_set_stride=4), sets=8)
+        # Set 1 is unsampled (stride 4 samples sets 0 and 4).
+        cache.access(64, pc=64)
+        cache.access(64, pc=64)
+        assert policy.tables.increments == 0
+        assert policy.tables.decrements == 0
+
+
+class TestPredictions:
+    def test_untrained_predicts_live(self):
+        cache, policy = sdbp_cache()
+        cache.access(0x0000, pc=0x0000)
+        assert policy.predicts_dead(0, 0) is False
+
+    def test_saturated_signature_predicts_dead(self):
+        cache, policy = sdbp_cache()
+        signature = policy._signature_of(0x1234)
+        for _ in range(20):
+            policy.tables.train(signature, is_dead=True)
+        assert policy._predict_sum(signature, policy.config.dead_sum_threshold)
+
+    def test_dead_victim_preferred(self):
+        cache, policy = sdbp_cache(sets=1, assoc=4)
+        for i in range(4):
+            cache.access(i * 64, pc=i * 64)
+        policy._pred_dead[0][3] = True
+        result = cache.access(4 * 64, pc=4 * 64)
+        assert result.way == 3
+
+    def test_bypass_at_high_sum(self):
+        config = SDBPConfig(dead_sum_threshold=24, bypass_sum_threshold=100)
+        cache, policy = sdbp_cache(config, sets=1, assoc=2)
+        signature = policy._signature_of(0x5000)
+        for _ in range(60):
+            policy.tables.train(signature, is_dead=True)
+        result = cache.access(0x5000, pc=0x5000)
+        assert result.bypassed
+
+    def test_summation_not_majority(self):
+        """SDBP aggregates by summation: one very confident table can
+        carry the vote even when the others are empty."""
+        cache, policy = sdbp_cache()
+        signature = policy._signature_of(0x9000)
+        indices = policy.tables.indices(signature)
+        policy.tables._tables[0][indices[0]] = 255
+        assert policy._predict_sum(signature, policy.config.dead_sum_threshold)
+
+
+class TestEndToEnd:
+    def test_runs_and_keeps_counters_bounded(self):
+        cache, policy = sdbp_cache(sets=16, assoc=4)
+        for i in range(5000):
+            address = ((i * 37) % 256) * 64
+            cache.access(address, pc=address)
+        for table in policy.tables._tables:
+            assert all(0 <= c <= 255 for c in table)
+        assert cache.stats.accesses == 5000

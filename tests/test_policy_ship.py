@@ -1,0 +1,104 @@
+"""Tests for the SHiP policy."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.ship import SHiPPolicy
+
+
+def cache_with(policy, sets=1, assoc=4):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy)
+
+
+class TestSHCT:
+    def test_reuse_trains_up_once(self):
+        policy = SHiPPolicy()
+        cache = cache_with(policy)
+        cache.access(0x1000, pc=0x1000)
+        signature = policy._signature_of(0x1000)
+        before = policy._shct[signature]
+        cache.access(0x1000, pc=0x1000)  # first reuse trains
+        cache.access(0x1000, pc=0x1000)  # further reuses do not
+        assert policy._shct[signature] == min(before + 1, policy._counter_max)
+
+    def test_dead_generation_trains_down(self):
+        policy = SHiPPolicy()
+        cache = cache_with(policy, assoc=1)
+        cache.access(0x0000, pc=0x0000)
+        signature = policy._signature_of(0x0000)
+        before = policy._shct[signature]
+        cache.access(0x1000, pc=0x1000)  # evicts unreused block
+        assert policy._shct[signature] == before - 1
+
+    def test_zero_shct_inserts_distant(self):
+        policy = SHiPPolicy()
+        cache = cache_with(policy)
+        signature = policy._signature_of(0x2000)
+        policy._shct[signature] = 0
+        result = cache.access(0x2000, pc=0x2000)
+        assert policy._rrpv[0][result.way] == policy.rrpv_max
+
+    def test_normal_inserts_long(self):
+        policy = SHiPPolicy()
+        cache = cache_with(policy)
+        result = cache.access(0x2000, pc=0x2000)
+        assert policy._rrpv[0][result.way] == policy.rrpv_max - 1
+
+
+class TestSampling:
+    def test_unsampled_observes_all_sets(self):
+        policy = SHiPPolicy(sample_stride=1)
+        cache_with(policy, sets=8)
+        assert all(policy._observed)
+
+    def test_sampled_observes_subset(self):
+        policy = SHiPPolicy(sample_stride=4)
+        cache_with(policy, sets=8)
+        assert policy._observed == [True, False, False, False, True, False, False, False]
+
+    def test_unobserved_sets_never_train(self):
+        policy = SHiPPolicy(sample_stride=4)
+        cache = cache_with(policy, sets=8, assoc=1)
+        # Set 1 (address 64) is unobserved.
+        cache.access(64, pc=64)
+        signature = policy._signature_of(64)
+        before = policy._shct[signature]
+        cache.access(64 + 8 * 64, pc=64 + 8 * 64)  # evict (same set)
+        assert policy._shct[signature] == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SHiPPolicy(sample_stride=0)
+
+
+class TestBehaviour:
+    def test_streaming_signature_evicted_first(self):
+        """Blocks from a proven-no-reuse signature must be the preferred
+        victims over reused blocks."""
+        policy = SHiPPolicy()
+        cache = cache_with(policy, assoc=2)
+        # Train signature of pc 0x8000 down to zero via dead generations.
+        dead_sig = policy._signature_of(0x8000)
+        policy._shct[dead_sig] = 0
+        cache.access(0x0000, pc=0x0000)
+        cache.access(0x0000, pc=0x0000)  # hot block, promoted
+        cache.access(0x8000, pc=0x8000)  # streaming block, distant insert
+        result = cache.access(0x4000, pc=0x4000)
+        assert result.victim_address == 0x8000
+
+    def test_predicts_dead_semantics(self):
+        policy = SHiPPolicy()
+        cache = cache_with(policy)
+        signature = policy._signature_of(0x2000)
+        policy._shct[signature] = 0
+        result = cache.access(0x2000, pc=0x2000)
+        assert policy.predicts_dead(0, result.way)
+        cache.access(0x2000, pc=0x2000)  # reuse clears the call
+        assert not policy.predicts_dead(0, result.way)
+
+    def test_registry(self):
+        from repro.policies.registry import make_policy
+
+        assert make_policy("ship").name == "ship"

@@ -1,0 +1,141 @@
+"""Tests for the prefetching substrate."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import build_frontend
+from repro.policies.lru import LRUPolicy
+from repro.prefetch import NextLinePrefetcher, PrefetchingICache, StreamPrefetcher
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+def make_cache(sets=8, assoc=2):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, LRUPolicy())
+
+
+class TestPrefetchFill:
+    def test_fill_installs_block(self):
+        cache = make_cache()
+        assert cache.prefetch_fill(0x1000)
+        assert cache.contains(0x1000)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.stats.accesses == 0  # not a demand access
+
+    def test_redundant_fill_refused(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert not cache.prefetch_fill(0x1000)
+        assert cache.stats.prefetch_fills == 0
+
+    def test_fill_can_evict(self):
+        cache = make_cache(sets=1, assoc=1)
+        cache.access(0x0000)
+        cache.prefetch_fill(0x1000)
+        assert not cache.contains(0x0000)
+        assert cache.stats.evictions == 1
+
+    def test_demand_hit_after_prefetch(self):
+        cache = make_cache()
+        cache.prefetch_fill(0x2000)
+        assert cache.access(0x2000).hit
+
+
+class TestNextLine:
+    def test_candidates_on_miss(self):
+        prefetcher = NextLinePrefetcher(degree=2)
+        assert prefetcher.on_access(0x1000, hit=False) == [0x1040, 0x1080]
+
+    def test_silent_on_hit_by_default(self):
+        prefetcher = NextLinePrefetcher()
+        assert prefetcher.on_access(0x1000, hit=True) == []
+
+    def test_every_access_mode(self):
+        prefetcher = NextLinePrefetcher(on_miss_only=False)
+        assert prefetcher.on_access(0x1000, hit=True) == [0x1040]
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_sequential_stream_mostly_covered(self):
+        cache = PrefetchingICache(make_cache(sets=16, assoc=4),
+                                  NextLinePrefetcher(degree=2))
+        misses = 0
+        for i in range(200):
+            if cache.access(i * 64).miss:
+                misses += 1
+        # Pure sequential: next-line covers all but the steady-state leader.
+        assert misses < 110
+        assert cache.prefetcher.stats.useful > 0
+
+
+class TestStream:
+    def test_trains_before_launching(self):
+        prefetcher = StreamPrefetcher(train_threshold=2, degree=2)
+        assert prefetcher.on_access(0x1000, hit=False) == []  # new stream
+        candidates = prefetcher.on_access(0x1040, hit=False)  # extends it
+        assert candidates  # confidence reached
+        assert all(c > 0x1040 for c in candidates)
+
+    def test_non_streaming_noise_ignored(self):
+        prefetcher = StreamPrefetcher(train_threshold=2)
+        assert prefetcher.on_access(0x1000, hit=False) == []
+        assert prefetcher.on_access(0x9000, hit=False) == []
+        assert prefetcher.on_access(0x5000, hit=False) == []
+
+    def test_stream_capacity_lru(self):
+        prefetcher = StreamPrefetcher(num_streams=2)
+        prefetcher.on_access(0x1000, hit=False)
+        prefetcher.on_access(0x9000, hit=False)
+        prefetcher.on_access(0x5000, hit=False)  # evicts the 0x1000 stream
+        assert len(prefetcher._streams) == 2
+        assert prefetcher.on_access(0x1040, hit=False) == []  # stream forgotten
+
+    def test_reset(self):
+        prefetcher = StreamPrefetcher()
+        prefetcher.on_access(0x1000, hit=False)
+        prefetcher.reset()
+        assert prefetcher._streams == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=0)
+
+
+class TestUsefulness:
+    def test_useful_counted_once(self):
+        cache = PrefetchingICache(make_cache(), NextLinePrefetcher(degree=1))
+        cache.access(0x1000)           # miss; prefetches 0x1040
+        cache.access(0x1040)           # demand touch: useful
+        cache.access(0x1040)           # second touch: not double counted
+        assert cache.prefetcher.stats.useful == 1
+
+    def test_accuracy_bounds(self):
+        cache = PrefetchingICache(make_cache(), NextLinePrefetcher(degree=4))
+        for i in range(100):
+            cache.access((i * 7 % 50) * 64)
+        stats = cache.prefetcher.stats
+        assert 0.0 <= stats.accuracy <= 1.0
+        assert stats.filled <= stats.issued
+
+
+class TestFrontEndIntegration:
+    def test_prefetcher_reduces_icache_mpki(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.1)
+        plain = build_frontend(FrontEndConfig(icache_policy="lru"))
+        result_plain = plain.run(workload.records(), warmup_instructions=0)
+        prefetching = build_frontend(
+            FrontEndConfig(icache_policy="lru", prefetcher="next-line")
+        )
+        result_pf = prefetching.run(workload.records(), warmup_instructions=0)
+        assert result_pf.icache_mpki < result_plain.icache_mpki
+        assert result_pf.prefetch is not None
+        assert result_pf.prefetch.filled > 0
+
+    def test_invalid_prefetcher_name(self):
+        with pytest.raises(ValueError):
+            FrontEndConfig(prefetcher="markov")

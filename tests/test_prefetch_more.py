@@ -1,0 +1,58 @@
+"""Prefetch engine corner cases."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.lru import LRUPolicy
+from repro.prefetch import NextLinePrefetcher, PrefetchingICache
+
+
+def make_cache(sets=2, assoc=2):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, LRUPolicy())
+
+
+class TestPendingPruning:
+    def test_pending_set_stays_bounded(self):
+        """Prefetched-but-evicted blocks must be pruned from the pending
+        set, not accumulate forever."""
+        cache = PrefetchingICache(make_cache(sets=2, assoc=2),
+                                  NextLinePrefetcher(degree=4))
+        for i in range(400):
+            cache.access(i * 64)  # pure stream: prefetches constantly evicted
+        assert len(cache._pending) <= 8 * cache.cache.geometry.associativity
+
+    def test_evicted_prefetch_not_counted_useful(self):
+        cache = PrefetchingICache(make_cache(sets=1, assoc=1),
+                                  NextLinePrefetcher(degree=1))
+        cache.access(0)          # prefetches block 1, which evicts block 0...
+        cache.access(0x2000)     # far away: evicts whatever is resident
+        cache.access(64)         # block 1 was evicted before use -> miss
+        assert cache.prefetcher.stats.useful == 0
+
+    def test_stats_passthrough(self):
+        cache = PrefetchingICache(make_cache(), NextLinePrefetcher())
+        cache.access(0)
+        assert cache.stats is cache.cache.stats
+        assert cache.stats.accesses == 1
+
+    def test_finalize_passthrough(self):
+        inner = SetAssociativeCache(
+            CacheGeometry(num_sets=2, associativity=2, block_size=64),
+            LRUPolicy(),
+            track_efficiency=True,
+        )
+        cache = PrefetchingICache(inner, NextLinePrefetcher())
+        cache.access(0)
+        cache.finalize()  # must not raise; closes efficiency accounting
+        assert inner.efficiency is not None
+
+
+class TestRedundantPrefetches:
+    def test_redundant_counted_not_filled(self):
+        cache = PrefetchingICache(make_cache(), NextLinePrefetcher(degree=1))
+        cache.access(64)   # prefetch 128
+        cache.access(0)    # prefetch 64 -> already resident: redundant
+        stats = cache.prefetcher.stats
+        assert stats.issued == 2
+        assert stats.filled == 1
+        assert stats.redundant == 1

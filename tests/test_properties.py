@@ -1,0 +1,154 @@
+"""Cross-module property-based tests: simulator invariants under random
+access patterns and random traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.config import GHRPConfig
+from repro.policies.ghrp_policy import GHRPPolicy
+from repro.policies.registry import available_policies, make_policy
+from repro.policies.lru import LRUPolicy
+
+block_sequences = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=200
+)
+
+
+def build_cache(policy, sets=4, assoc=2):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    return SetAssociativeCache(geometry, policy)
+
+
+class TestEngineInvariants:
+    @given(block_sequences, st.sampled_from(sorted(set(available_policies()) - {"opt"})))
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_identities(self, blocks, policy_name):
+        cache = build_cache(make_policy(policy_name))
+        for block in blocks:
+            cache.access(block * 64, pc=block * 64)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(blocks)
+        assert stats.bypasses <= stats.misses
+        assert cache.occupancy <= cache.geometry.total_blocks
+        # Fills = non-bypassed misses; evictions = fills - frames used.
+        fills = stats.misses - stats.bypasses
+        assert stats.evictions == max(fills - cache.occupancy, 0)
+
+    @given(block_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_rerun_determinism(self, blocks):
+        def run():
+            cache = build_cache(make_policy("ghrp"))
+            outcomes = []
+            for block in blocks:
+                result = cache.access(block * 64, pc=block * 64)
+                outcomes.append((result.hit, result.way, result.victim_address))
+            return outcomes
+
+        assert run() == run()
+
+    @given(block_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_hit_requires_prior_fill(self, blocks):
+        cache = build_cache(LRUPolicy())
+        seen = set()
+        for block in blocks:
+            result = cache.access(block * 64)
+            if result.hit:
+                assert block in seen
+            seen.add(block)
+
+
+class TestGHRPDegeneratesToLRU:
+    @given(block_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_untrainable_ghrp_equals_lru(self, blocks):
+        """With zero-initialized counters and saturated thresholds, short
+        sequences cannot push any counter to the dead threshold, so GHRP's
+        decisions must be exactly LRU's."""
+        # <=2 touches per signature cannot reach threshold 3 from 0.
+        config = GHRPConfig(
+            initial_counter=0, dead_threshold=3, bypass_threshold=3,
+            btb_dead_threshold=3,
+        )
+        ghrp_cache = build_cache(GHRPPolicy(config=config))
+        lru_cache = build_cache(LRUPolicy())
+        for block in blocks[:80]:
+            address = block * 64
+            ghrp_result = ghrp_cache.access(address, pc=address)
+            lru_result = lru_cache.access(address)
+            assert ghrp_result.hit == lru_result.hit
+            assert ghrp_result.victim_address == lru_result.victim_address
+
+
+class TestWorkloadTraceInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_control_flow_consistency(self, seed):
+        """Every workload's trace must be internally consistent: each
+        chunk starts exactly where the previous branch said control goes."""
+        from repro.traces.reconstruct import FetchBlockStream
+        from repro.workloads.spec import Category
+        from repro.workloads.suite import make_workload
+
+        workload = make_workload(
+            "prop", Category.SHORT_MOBILE, seed=seed, trace_scale=0.02,
+            footprint_scale=0.3,
+        )
+        previous_next = None
+        stream = FetchBlockStream(workload.records(800))
+        for chunk in stream:
+            if previous_next is not None:
+                assert chunk.start_pc == previous_next
+            previous_next = chunk.branch.next_pc
+        assert stream.resync_count == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_frontend_instruction_count_policy_invariant(self, seed):
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import build_frontend
+        from repro.workloads.spec import Category
+        from repro.workloads.suite import make_workload
+
+        workload = make_workload(
+            "prop", Category.SHORT_MOBILE, seed=seed, trace_scale=0.02,
+            footprint_scale=0.3,
+        )
+        counts = set()
+        for policy in ("lru", "ghrp"):
+            frontend = build_frontend(FrontEndConfig(icache_policy=policy))
+            result = frontend.run(workload.records(), warmup_instructions=0)
+            counts.add(result.instructions)
+        assert len(counts) == 1
+
+
+class TestEfficiencyInvariants:
+    @given(block_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_efficiency_bounded(self, blocks):
+        geometry = CacheGeometry(num_sets=2, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        for block in blocks:
+            cache.access(block * 64)
+        cache.finalize()
+        matrix = cache.efficiency.efficiency_matrix()
+        assert float(matrix.min()) >= 0.0
+        assert float(matrix.max()) <= 1.0
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_single_block_repeated_is_fully_live_until_end(self, touches):
+        geometry = CacheGeometry(num_sets=1, associativity=1, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        for _ in range(touches):
+            cache.access(0)
+        cache.access(64)  # evict: generation closed at its last touch
+        cache.finalize()
+        matrix = cache.efficiency.efficiency_matrix()
+        # Lived from t=1 to t=touches, evicted at t=touches+1.
+        expected = (touches - 1) / touches
+        assert matrix[0][0] == pytest.approx(expected)

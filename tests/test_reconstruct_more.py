@@ -1,0 +1,80 @@
+"""Additional fetch-reconstruction coverage: block iteration math and
+alignment edge cases against a naive reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.record import BranchRecord, BranchType
+from repro.traces.reconstruct import FetchChunk
+
+
+aligned = st.integers(min_value=0, max_value=1 << 20).map(lambda v: v * 4)
+
+
+class TestBlockEnumeration:
+    @given(aligned, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100)
+    def test_matches_per_instruction_enumeration(self, start, length):
+        """block_addresses must equal the dedup of every instruction's
+        block, in order."""
+        branch_pc = start + length * 4
+        chunk = FetchChunk(
+            start_pc=start,
+            branch=BranchRecord(branch_pc, BranchType.UNCONDITIONAL, True, 0),
+        )
+        for block_size in (16, 64, 128):
+            expected = []
+            for pc in range(start, branch_pc + 1, 4):
+                block = pc & ~(block_size - 1)
+                if not expected or expected[-1] != block:
+                    expected.append(block)
+            assert list(chunk.block_addresses(block_size)) == expected
+
+    @given(aligned, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60)
+    def test_instruction_count_matches_pcs(self, start, length):
+        branch_pc = start + length * 4
+        chunk = FetchChunk(
+            start_pc=start,
+            branch=BranchRecord(branch_pc, BranchType.UNCONDITIONAL, True, 0),
+        )
+        assert chunk.instruction_count == len(list(chunk.instruction_pcs()))
+
+    def test_block_boundary_start(self):
+        chunk = FetchChunk(
+            start_pc=0x1000,
+            branch=BranchRecord(0x1000, BranchType.UNCONDITIONAL, True, 0),
+        )
+        assert list(chunk.block_addresses(64)) == [0x1000]
+
+    def test_block_boundary_end(self):
+        # Branch at the last instruction slot of a block.
+        chunk = FetchChunk(
+            start_pc=0x1000,
+            branch=BranchRecord(0x103C, BranchType.UNCONDITIONAL, True, 0),
+        )
+        assert list(chunk.block_addresses(64)) == [0x1000]
+        chunk2 = FetchChunk(
+            start_pc=0x1000,
+            branch=BranchRecord(0x1040, BranchType.UNCONDITIONAL, True, 0),
+        )
+        assert list(chunk2.block_addresses(64)) == [0x1000, 0x1040]
+
+    def test_non_power_of_two_block_rejected(self):
+        chunk = FetchChunk(
+            start_pc=0x1000,
+            branch=BranchRecord(0x1010, BranchType.UNCONDITIONAL, True, 0),
+        )
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(chunk.block_addresses(48))
+
+    def test_misaligned_span_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FetchChunk(
+                start_pc=0x1001,
+                branch=BranchRecord(0x1010, BranchType.UNCONDITIONAL, True, 0),
+            )

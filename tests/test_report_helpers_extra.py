@@ -1,0 +1,89 @@
+"""Additional coverage for rendering helpers and result objects."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.storage import StorageBreakdown, StorageItem
+from repro.experiments.report import bar_chart, format_table
+from repro.frontend.results import SimulationResult
+from repro.branch.base import PredictorStats
+
+
+class TestStorageObjects:
+    def test_item_units(self):
+        item = StorageItem("x", bits=8192)
+        assert item.bytes == 1024
+        assert item.kilobytes == 1.0
+
+    def test_breakdown_totals(self):
+        breakdown = StorageBreakdown(
+            title="t", items=(StorageItem("a", 8), StorageItem("b", 16))
+        )
+        assert breakdown.total_bits == 24
+        assert breakdown.total_bytes == 3.0
+
+    def test_overhead_fraction(self):
+        from repro.cache.geometry import CacheGeometry
+
+        geometry = CacheGeometry.from_capacity(1024, 2, 64)
+        breakdown = StorageBreakdown(
+            title="t", items=(StorageItem("a", 1024 * 8),)
+        )
+        assert breakdown.overhead_fraction(geometry) == pytest.approx(1.0)
+
+
+class TestSimulationResultProperties:
+    def _result(self, **overrides):
+        measured = CacheStats(misses=10, instructions=10_000)
+        defaults = dict(
+            instructions=10_000,
+            branches=1_000,
+            warmup_instructions=0,
+            icache_total=measured,
+            icache_measured=measured,
+            btb_total=measured,
+            btb_measured=measured,
+            direction=PredictorStats(predictions=1000, mispredictions=50),
+            target_mispredictions=0,
+            ras_underflows=0,
+            wrong_path_accesses=0,
+        )
+        defaults.update(overrides)
+        return SimulationResult(**defaults)
+
+    def test_mpki_properties(self):
+        result = self._result()
+        assert result.icache_mpki == pytest.approx(1.0)
+        assert result.btb_mpki == pytest.approx(1.0)
+
+    def test_branch_mpki(self):
+        result = self._result()
+        assert result.branch_mpki == pytest.approx(5.0)
+
+    def test_direction_accuracy(self):
+        result = self._result()
+        assert result.direction_accuracy == pytest.approx(0.95)
+
+    def test_zero_instruction_edge(self):
+        result = self._result(instructions=0)
+        assert result.branch_mpki == 0.0
+
+
+class TestFormatters:
+    def test_format_table_precision(self):
+        text = format_table(("v",), [(3.14159,)], precision=2)
+        assert "3.14" in text and "3.142" not in text
+
+    def test_format_table_mixed_types(self):
+        text = format_table(("a", "b"), [("x", 1), ("yy", 2.5)])
+        assert "yy" in text and "2.500" in text
+
+    def test_bar_chart_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "0.000" in text
+
+    def test_bar_chart_width_scales(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5

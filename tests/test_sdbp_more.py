@@ -1,0 +1,68 @@
+"""Additional SDBP coverage: frontend integration and sampler dynamics."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.policies.sdbp import SDBPConfig, SDBPPolicy
+
+
+class TestSamplerDynamics:
+    def test_partial_tags_can_alias(self):
+        """The sampler matches on partial tags, so two far-apart blocks
+        with equal low tag bits are the *same* sampler entry — a real
+        SDBP property, not a bug."""
+        config = SDBPConfig(sampler_tag_bits=4)
+        policy = SDBPPolicy(config)
+        geometry = CacheGeometry(num_sets=2, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        # Same set, tags differing only above bit 4.
+        a = 0x0000
+        b = a + (1 << (6 + 1 + 4)) * 1  # tag differs at bit 4 of the tag
+        cache.access(a, pc=a)
+        before = policy.tables.decrements
+        cache.access(b, pc=b)  # sampler sees the same partial tag -> "reuse"
+        assert policy.tables.decrements == before + 1
+
+    def test_signature_is_partial_pc(self):
+        policy = SDBPPolicy()
+        assert policy._signature_of(0x1234) == (0x1234 >> 2) & 0xFFF
+        assert policy._signature_of(0x1234 + (1 << 14)) == policy._signature_of(0x1234)
+
+    def test_sampler_lru_prefers_invalid(self):
+        policy = SDBPPolicy()
+        geometry = CacheGeometry(num_sets=1, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, policy)
+        cache.access(0x0000, pc=0x0000)
+        entries = policy._sampler[0]
+        assert sum(1 for e in entries if e.valid) == 1  # second way untouched
+
+
+class TestFrontendIntegration:
+    def test_sdbp_runs_in_frontend(self):
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import build_frontend
+        from repro.workloads.spec import Category
+        from repro.workloads.suite import make_workload
+
+        workload = make_workload(
+            "w", Category.SHORT_MOBILE, seed=2, trace_scale=0.05
+        )
+        frontend = build_frontend(FrontEndConfig(icache_policy="sdbp"))
+        result = frontend.run(workload.records(), warmup_instructions=2000)
+        assert result.icache_mpki >= 0
+        policy = frontend.icache.policy
+        # The full-size sampler must have observed traffic.
+        assert policy.tables.increments + policy.tables.decrements > 0
+
+    def test_custom_config_threads_through(self):
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import build_frontend
+
+        config = FrontEndConfig(
+            icache_policy="sdbp",
+            sdbp=SDBPConfig(sampler_set_stride=8, dead_sum_threshold=30),
+        )
+        frontend = build_frontend(config)
+        assert frontend.icache.policy.config.sampler_set_stride == 8
+        assert frontend.icache.policy.config.dead_sum_threshold == 30

@@ -1,0 +1,160 @@
+"""Tests for the statistics package (Figures 8, 9, S-curves)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.ci import relative_difference_ci
+from repro.stats.mpki import MPKITable, mean_mpki, subset_at_least
+from repro.stats.scurve import scurve
+from repro.stats.winloss import classify_win_loss
+
+
+def table_from(data: dict[str, dict[str, float]]) -> MPKITable:
+    table = MPKITable()
+    for policy, row in data.items():
+        for workload, mpki in row.items():
+            table.set(policy, workload, mpki)
+    return table
+
+
+SAMPLE = table_from(
+    {
+        "lru": {"a": 2.0, "b": 4.0, "c": 0.5, "d": 10.0},
+        "ghrp": {"a": 1.0, "b": 3.0, "c": 0.5, "d": 8.0},
+        "random": {"a": 3.0, "b": 5.0, "c": 0.6, "d": 12.0},
+    }
+)
+
+
+class TestMPKITable:
+    def test_workloads_is_intersection(self):
+        table = table_from({"lru": {"a": 1.0, "b": 2.0}, "ghrp": {"a": 1.0}})
+        assert table.workloads == ["a"]
+
+    def test_mean(self):
+        assert mean_mpki(SAMPLE, "lru") == pytest.approx((2 + 4 + 0.5 + 10) / 4)
+
+    def test_empty_mean(self):
+        assert mean_mpki(MPKITable(), "lru") == 0.0
+
+    def test_subset_at_least(self):
+        assert subset_at_least(SAMPLE, 1.0) == ["a", "b", "d"]
+
+    def test_restricted(self):
+        restricted = SAMPLE.restricted(["a", "d"])
+        assert restricted.workloads == ["a", "d"]
+        assert restricted.mean("ghrp") == pytest.approx((1.0 + 8.0) / 2)
+
+    def test_render_includes_reference_deltas(self):
+        text = SAMPLE.render(reference="lru")
+        assert "vs lru" in text
+        assert "%" in text
+
+
+class TestRelativeDifferenceCI:
+    def test_mean_of_relative_differences(self):
+        result = relative_difference_ci(SAMPLE, "ghrp")
+        expected = ((1 - 2) / 2 + (3 - 4) / 4 + (0.5 - 0.5) / 0.5 + (8 - 10) / 10) / 4
+        assert result.mean == pytest.approx(expected)
+        assert result.sample_count == 4
+
+    def test_ci_contains_mean(self):
+        result = relative_difference_ci(SAMPLE, "ghrp")
+        assert result.ci_low <= result.mean <= result.ci_high
+
+    def test_worse_policy_positive(self):
+        result = relative_difference_ci(SAMPLE, "random")
+        assert result.mean > 0
+
+    def test_near_zero_reference_excluded(self):
+        table = table_from(
+            {"lru": {"a": 0.0, "b": 2.0}, "x": {"a": 5.0, "b": 1.0}}
+        )
+        result = relative_difference_ci(table, "x")
+        assert result.sample_count == 1
+        assert result.mean == pytest.approx(-0.5)
+
+    def test_single_sample_degenerate_ci(self):
+        table = table_from({"lru": {"a": 2.0}, "x": {"a": 1.0}})
+        result = relative_difference_ci(table, "x")
+        assert result.ci_low == result.ci_high == result.mean
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            relative_difference_ci(SAMPLE, "ghrp", confidence=1.0)
+
+    def test_render(self):
+        text = relative_difference_ci(SAMPLE, "ghrp").render()
+        assert "ghrp" in text and "lru" in text and "%" in text
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100),
+                st.floats(min_value=0.1, max_value=100),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_ci_symmetric_about_mean(self, pairs):
+        table = MPKITable()
+        for i, (ref, val) in enumerate(pairs):
+            table.set("lru", f"w{i}", ref)
+            table.set("x", f"w{i}", val)
+        result = relative_difference_ci(table, "x")
+        assert math.isclose(
+            result.mean - result.ci_low, result.ci_high - result.mean, rel_tol=1e-9
+        )
+
+
+class TestWinLoss:
+    def test_classification(self):
+        result = classify_win_loss(SAMPLE, "ghrp")
+        # a: 1 < 2 win; b: 3 < 4 win; c: tie; d: 8 < 10 win.
+        assert (result.wins, result.ties, result.losses) == (3, 1, 0)
+
+    def test_losses(self):
+        result = classify_win_loss(SAMPLE, "random")
+        assert result.losses == 4
+
+    def test_tolerance_band(self):
+        table = table_from({"lru": {"a": 10.0}, "x": {"a": 10.1}})
+        tight = classify_win_loss(table, "x", relative_tolerance=0.001)
+        loose = classify_win_loss(table, "x", relative_tolerance=0.05)
+        assert tight.losses == 1
+        assert loose.ties == 1
+
+    def test_absolute_tolerance_for_tiny_mpki(self):
+        table = table_from({"lru": {"a": 0.001}, "x": {"a": 0.004}})
+        result = classify_win_loss(table, "x")
+        assert result.ties == 1
+
+    def test_fraction_and_render(self):
+        result = classify_win_loss(SAMPLE, "ghrp")
+        assert result.fraction("wins") == pytest.approx(0.75)
+        assert "better on 3" in result.render()
+
+
+class TestSCurve:
+    def test_order_by_reference(self):
+        curve = scurve(SAMPLE)
+        assert curve.order == ("c", "a", "b", "d")
+
+    def test_series_follow_order(self):
+        curve = scurve(SAMPLE)
+        assert curve.series["lru"] == (0.5, 2.0, 4.0, 10.0)
+        assert curve.series["ghrp"] == (0.5, 1.0, 3.0, 8.0)
+
+    def test_render_ascii(self):
+        art = scurve(SAMPLE).render_ascii(height=6)
+        assert "L=lru" in art or "l" in art.lower()
+        assert len(art.splitlines()) >= 6
+
+    def test_empty_table(self):
+        table = MPKITable()
+        table.values["lru"] = {}
+        assert scurve(table).render_ascii() == "(empty)"

@@ -1,0 +1,89 @@
+"""Tests for the persistent result store."""
+
+import pytest
+
+from repro.experiments.runner import run_cell
+from repro.experiments.store import ResultStore, run_grid_cached
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture()
+def workload():
+    return make_workload(
+        "w", Category.SHORT_MOBILE, seed=1, trace_scale=0.02, footprint_scale=0.3
+    )
+
+
+@pytest.fixture()
+def config():
+    return FrontEndConfig(
+        icache_bytes=8 * 1024, icache_assoc=4, btb_entries=256,
+        warmup_cap_instructions=1000,
+    )
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "results.json")
+        cell = run_cell(workload, "lru", config)
+        store.put(workload, "lru", config, cell)
+        store.save()
+        reopened = ResultStore(tmp_path / "results.json")
+        cached = reopened.get(workload, "lru", config)
+        assert cached == cell
+
+    def test_miss_returns_none(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "results.json")
+        assert store.get(workload, "lru", config) is None
+
+    def test_key_sensitive_to_policy(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "r.json")
+        assert store.key_for(workload, "lru", config) != store.key_for(
+            workload, "ghrp", config
+        )
+
+    def test_key_sensitive_to_config(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "r.json")
+        other = config.with_overrides(icache_bytes=16 * 1024)
+        assert store.key_for(workload, "lru", config) != store.key_for(
+            workload, "lru", other
+        )
+
+    def test_key_sensitive_to_workload_seed(self, tmp_path, workload, config):
+        other = make_workload(
+            "w", Category.SHORT_MOBILE, seed=2, trace_scale=0.02, footprint_scale=0.3
+        )
+        store = ResultStore(tmp_path / "r.json")
+        assert store.key_for(workload, "lru", config) != store.key_for(
+            other, "lru", config
+        )
+
+
+class TestRunGridCached:
+    def test_second_run_is_cached(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "r.json")
+        first = run_grid_cached([workload], ["lru", "random"], config, store)
+        assert len(store) == 2
+
+        # Re-run: results must come from the store (identical objects).
+        calls = []
+        second = run_grid_cached(
+            [workload], ["lru", "random"], config, store, progress=calls.append
+        )
+        assert len(calls) == 2
+        assert second.icache.values == first.icache.values
+
+    def test_extending_policies_adds_cells(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "r.json")
+        run_grid_cached([workload], ["lru"], config, store)
+        run_grid_cached([workload], ["lru", "srrip"], config, store)
+        assert len(store) == 2
+
+    def test_store_persisted_across_instances(self, tmp_path, workload, config):
+        path = tmp_path / "r.json"
+        run_grid_cached([workload], ["lru"], config, ResultStore(path))
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.get(workload, "lru", config) is not None

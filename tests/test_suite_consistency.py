@@ -1,0 +1,54 @@
+"""Suite-level consistency checks (cheap: no full simulations)."""
+
+from repro.workloads.spec import Category, spec_for_category
+from repro.workloads.suite import DEFAULT_SUITE_MIX, make_suite
+
+
+class TestDefaultSuite:
+    def test_mix_covers_all_categories(self):
+        assert set(DEFAULT_SUITE_MIX) == set(Category)
+
+    def test_names_unique(self):
+        suite = make_suite(trace_scale=0.02)
+        names = [w.name for w in suite]
+        assert len(names) == len(set(names))
+
+    def test_counts_match_mix(self):
+        mix = {Category.SHORT_MOBILE: 2, Category.LONG_SERVER: 3}
+        suite = make_suite(mix=mix, trace_scale=0.02)
+        assert len(suite) == 5
+        by_category = {}
+        for workload in suite:
+            by_category.setdefault(workload.category, 0)
+            by_category[workload.category] += 1
+        assert by_category == mix
+
+    def test_server_heavier_than_mobile_on_average(self):
+        mix = {c: 3 for c in Category}
+        suite = make_suite(mix=mix, trace_scale=0.02)
+        mobile = [w for w in suite if not w.category.is_server]
+        server = [w for w in suite if w.category.is_server]
+        mobile_mean = sum(w.code_footprint_bytes for w in mobile) / len(mobile)
+        server_mean = sum(w.code_footprint_bytes for w in server) / len(server)
+        assert server_mean > 1.5 * mobile_mean
+
+    def test_long_budgets_exceed_short(self):
+        assert (
+            spec_for_category(Category.LONG_MOBILE).branch_budget
+            > spec_for_category(Category.SHORT_MOBILE).branch_budget
+        )
+        assert (
+            spec_for_category(Category.LONG_SERVER).branch_budget
+            > spec_for_category(Category.SHORT_SERVER).branch_budget
+        )
+
+    def test_category_helpers(self):
+        assert Category.SHORT_SERVER.is_server
+        assert not Category.SHORT_SERVER.is_long
+        assert Category.LONG_MOBILE.is_long
+        assert not Category.LONG_MOBILE.is_server
+
+    def test_different_base_seeds_differ(self):
+        a = make_suite(base_seed=1, mix={Category.SHORT_MOBILE: 1}, trace_scale=0.02)
+        b = make_suite(base_seed=2, mix={Category.SHORT_MOBILE: 1}, trace_scale=0.02)
+        assert list(a[0].records(50)) != list(b[0].records(50))

@@ -1,0 +1,105 @@
+"""Tests for the cycle-approximate timing model."""
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig
+from repro.timing import TimingConfig, build_timed_frontend
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+def tiny_workload(seed=1):
+    return make_workload("w", Category.SHORT_MOBILE, seed=seed, trace_scale=0.05)
+
+
+class TestTimingConfig:
+    def test_defaults_sane(self):
+        config = TimingConfig()
+        assert config.memory_latency > config.l2_hit_latency
+        assert config.issue_width >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            TimingConfig(memory_latency=5, l2_hit_latency=10)
+        with pytest.raises(ValueError):
+            TimingConfig(btb_miss_penalty=-1)
+
+
+class TestTimedFrontEnd:
+    def test_cycle_identity(self):
+        workload = tiny_workload()
+        frontend = build_timed_frontend(FrontEndConfig(icache_policy="lru"))
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert result.cycles == pytest.approx(
+            result.base_cycles
+            + result.icache_stall_cycles
+            + result.btb_bubble_cycles
+            + result.mispredict_cycles
+        )
+        assert result.cpi > 0
+        assert result.ipc == pytest.approx(1 / result.cpi)
+
+    def test_cpi_floor_is_issue_width(self):
+        workload = tiny_workload()
+        frontend = build_timed_frontend(
+            FrontEndConfig(icache_policy="lru"), TimingConfig(issue_width=4)
+        )
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert result.cpi >= 1 / 4
+
+    def test_perfect_front_end_hits_floor(self):
+        """A huge I-cache + BTB and zero penalties leave only base cycles."""
+        workload = tiny_workload()
+        frontend = build_timed_frontend(
+            FrontEndConfig(
+                icache_bytes=4 * 1024 * 1024, btb_entries=65536,
+                icache_policy="lru",
+            ),
+            TimingConfig(
+                l2_hit_latency=0, memory_latency=0,
+                btb_miss_penalty=0, mispredict_penalty=0,
+            ),
+        )
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert result.cycles == pytest.approx(result.base_cycles)
+
+    def test_mpki_cpi_correlation(self):
+        """The paper's premise: MPKI is roughly proportional to CPI — a
+        smaller I-cache must produce both higher MPKI and higher CPI."""
+        workload = make_workload(
+            "w", Category.SHORT_SERVER, seed=3, trace_scale=0.15,
+        )
+        results = {}
+        for size in (8 * 1024, 64 * 1024):
+            frontend = build_timed_frontend(
+                FrontEndConfig(icache_bytes=size, icache_policy="lru")
+            )
+            results[size] = frontend.run(workload.records(), warmup_instructions=0)
+        small, big = results[8 * 1024], results[64 * 1024]
+        assert small.icache_mpki > big.icache_mpki
+        assert small.cpi > big.cpi
+
+    def test_warmup_region(self):
+        workload = tiny_workload()
+        frontend = build_timed_frontend(FrontEndConfig())
+        result = frontend.run(workload.records(), warmup_instructions=3000)
+        full = build_timed_frontend(FrontEndConfig()).run(
+            tiny_workload().records(), warmup_instructions=0
+        )
+        assert result.instructions < full.instructions
+
+    def test_render(self):
+        workload = tiny_workload()
+        frontend = build_timed_frontend(FrontEndConfig())
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        text = result.render()
+        assert "CPI" in text and "icache MPKI" in text
+
+    def test_l2_filters_memory_traffic(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=5, trace_scale=0.1)
+        frontend = build_timed_frontend(FrontEndConfig(icache_bytes=8 * 1024))
+        frontend.run(workload.records(), warmup_instructions=0)
+        # L2 is much bigger than the footprint: it must absorb most refills.
+        assert frontend.l2.stats.hits > frontend.l2.stats.misses

@@ -1,0 +1,72 @@
+"""Additional timing-model coverage: policy deltas and config plumbing."""
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig
+from repro.timing import TimingConfig, build_timed_frontend
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+class TestPolicyDeltas:
+    def test_worse_replacement_costs_cycles(self):
+        """Random replacement must cost more cycles than LRU on a
+        pressured trace — the MPKI->CPI translation the model exists for."""
+        workload = make_workload("w", Category.SHORT_SERVER, seed=9, trace_scale=0.2)
+        results = {}
+        for policy in ("lru", "random"):
+            frontend = build_timed_frontend(FrontEndConfig(icache_policy=policy))
+            results[policy] = frontend.run(workload.records(), warmup_instructions=0)
+        assert results["random"].icache_mpki > results["lru"].icache_mpki
+        assert results["random"].cycles > results["lru"].cycles
+
+    def test_breakdown_keys(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.05)
+        frontend = build_timed_frontend(FrontEndConfig())
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert set(result.breakdown) == {"base", "icache", "btb", "flush"}
+        assert result.breakdown["base"] == result.base_cycles
+
+
+class TestLatencyPlumbing:
+    def test_memory_latency_dominates_with_tiny_l2(self):
+        workload = make_workload("w", Category.SHORT_SERVER, seed=3, trace_scale=0.1)
+        cheap = TimingConfig(l2_hit_latency=1, memory_latency=200,
+                             l2_bytes=4 * 1024 * 1024)
+        tiny_l2 = TimingConfig(l2_hit_latency=1, memory_latency=200,
+                               l2_bytes=64 * 1024)
+        config = FrontEndConfig(icache_bytes=8 * 1024)
+        stall_big = build_timed_frontend(config, cheap).run(
+            workload.records(), warmup_instructions=0
+        ).icache_stall_cycles
+        stall_small = build_timed_frontend(config, tiny_l2).run(
+            workload.records(), warmup_instructions=0
+        ).icache_stall_cycles
+        assert stall_small > stall_big
+
+    def test_zero_mispredict_penalty(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.05)
+        timing = TimingConfig(mispredict_penalty=0, btb_miss_penalty=0)
+        frontend = build_timed_frontend(FrontEndConfig(), timing)
+        result = frontend.run(workload.records(), warmup_instructions=0)
+        assert result.mispredict_cycles == 0
+        assert result.btb_bubble_cycles == 0
+
+    def test_issue_width_scales_base(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.05)
+        narrow = build_timed_frontend(FrontEndConfig(), TimingConfig(issue_width=1)).run(
+            workload.records(), warmup_instructions=0
+        )
+        wide = build_timed_frontend(FrontEndConfig(), TimingConfig(issue_width=8)).run(
+            workload.records(), warmup_instructions=0
+        )
+        assert narrow.base_cycles == pytest.approx(8 * wide.base_cycles)
+
+    def test_ghrp_history_recovery_wired(self):
+        """The timed front end recovers GHRP speculative history after a
+        misprediction (same discipline as the functional front end)."""
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.05)
+        frontend = build_timed_frontend(FrontEndConfig(icache_policy="ghrp"))
+        frontend.run(workload.records(), warmup_instructions=0)
+        assert frontend.ghrp is not None
+        assert frontend.ghrp.history.speculative == frontend.ghrp.history.retired

@@ -1,0 +1,67 @@
+"""Tests for the GHRP tuning sweep helper."""
+
+import pytest
+
+from repro.core.config import GHRPConfig
+from repro.experiments.tuning import sweep_ghrp
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_inputs():
+    workloads = [
+        make_workload("w", Category.SHORT_MOBILE, seed=1, trace_scale=0.02,
+                      footprint_scale=0.3)
+    ]
+    frontend = FrontEndConfig(
+        icache_bytes=8 * 1024, icache_assoc=4, btb_entries=256,
+        warmup_cap_instructions=1_000,
+    )
+    return workloads, frontend
+
+
+class TestSweep:
+    def test_grid_enumeration(self, tiny_inputs):
+        workloads, frontend = tiny_inputs
+        result = sweep_ghrp(
+            workloads,
+            {"dead_threshold": [2, 3], "bypass_threshold": [3]},
+            frontend_config=frontend,
+        )
+        assert len(result.points) == 2
+        labels = {p.label for p in result.points}
+        assert "bypass_threshold=3, dead_threshold=2" in labels
+
+    def test_best_is_minimum(self, tiny_inputs):
+        workloads, frontend = tiny_inputs
+        result = sweep_ghrp(
+            workloads, {"dead_threshold": [1, 2, 3]}, frontend_config=frontend,
+            base=GHRPConfig(initial_counter=0),
+        )
+        assert result.best.icache_mpki == min(p.icache_mpki for p in result.points)
+        assert result.best_btb.btb_mpki == min(p.btb_mpki for p in result.points)
+
+    def test_render(self, tiny_inputs):
+        workloads, frontend = tiny_inputs
+        result = sweep_ghrp(workloads, {"history_bits": [8]}, frontend_config=frontend)
+        text = result.render()
+        assert "history_bits=8" in text
+        assert "icache MPKI" in text
+
+    def test_empty_grid_rejected(self, tiny_inputs):
+        workloads, frontend = tiny_inputs
+        with pytest.raises(ValueError):
+            sweep_ghrp(workloads, {}, frontend_config=frontend)
+
+    def test_policies_forced_to_ghrp(self, tiny_inputs):
+        """Even if the frontend config names another policy, the sweep
+        evaluates GHRP (that is its whole point)."""
+        workloads, frontend = tiny_inputs
+        result = sweep_ghrp(
+            workloads,
+            {"dead_threshold": [3]},
+            frontend_config=frontend.with_overrides(icache_policy="random"),
+        )
+        assert len(result.points) == 1

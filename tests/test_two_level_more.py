@@ -1,0 +1,47 @@
+"""Two-level BTB: behaviour under realistic branch streams."""
+
+from repro.btb.two_level import TwoLevelBTB
+from repro.policies.lru import LRUPolicy
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+def drive(btb, workload, limit=15_000):
+    instructions = 0
+    from repro.traces.reconstruct import FetchBlockStream
+
+    stream = FetchBlockStream(workload.records(limit))
+    for chunk in stream:
+        record = chunk.branch
+        if record.taken and record.branch_type.uses_btb:
+            btb.access(record.pc, record.target)
+    return stream.instructions_seen
+
+
+class TestOnWorkloads:
+    def test_hierarchy_reduces_full_misses(self):
+        workload = make_workload(
+            "w", Category.SHORT_SERVER, seed=5, trace_scale=0.2
+        )
+        flat_small = TwoLevelBTB(256, 4, LRUPolicy(), 8192, 4, LRUPolicy())
+        instructions = drive(flat_small, workload)
+        # Most L1 misses should be recovered by L2 after warm-up.
+        assert flat_small.promotions > 0
+        l1_misses = flat_small.promotions + flat_small.full_miss_count
+        assert flat_small.full_miss_count < l1_misses
+
+    def test_counters_consistent(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=6, trace_scale=0.1)
+        btb = TwoLevelBTB(64, 4, LRUPolicy(), 1024, 4, LRUPolicy())
+        drive(btb, workload, limit=8000)
+        l1 = btb.l1.stats
+        assert l1.accesses == l1.hits + l1.misses
+        assert btb.promotions + btb.demotions == l1.misses
+
+    def test_mpki_monotone_in_what_counts(self):
+        workload = make_workload("w", Category.SHORT_MOBILE, seed=6, trace_scale=0.1)
+        btb = TwoLevelBTB(64, 4, LRUPolicy(), 1024, 4, LRUPolicy())
+        instructions = drive(btb, workload, limit=8000)
+        assert btb.mpki(instructions) <= btb.mpki(
+            instructions, count_l2_hits_as_misses=True
+        )

@@ -1,0 +1,127 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit_slice,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    rotate_left,
+    sign_extend,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_mask_is_all_ones(self, width):
+        assert mask(width) == (1 << width) - 1
+
+
+class TestBitSlice:
+    def test_middle_bits(self):
+        assert bit_slice(0b110110, 1, 3) == 0b011
+
+    def test_low_bits(self):
+        assert bit_slice(0xABCD, 0, 4) == 0xD
+
+    def test_beyond_value_is_zero(self):
+        assert bit_slice(0xF, 8, 4) == 0
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            bit_slice(1, -1, 2)
+
+    @given(st.integers(min_value=0), st.integers(min_value=0, max_value=64),
+           st.integers(min_value=1, max_value=64))
+    def test_slice_fits_width(self, value, low, width):
+        assert 0 <= bit_slice(value, low, width) <= mask(width)
+
+
+class TestFoldXor:
+    def test_known_value(self):
+        # 0xABCD folded to 8 bits: 0xCD ^ 0xAB = 0x66.
+        assert fold_xor(0xABCD, 8) == 0x66
+
+    def test_narrow_value_unchanged(self):
+        assert fold_xor(0x3, 8) == 0x3
+
+    def test_zero(self):
+        assert fold_xor(0, 12) == 0
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=32))
+    def test_result_fits_width(self, value, width):
+        assert 0 <= fold_xor(value, width) <= mask(width)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fold_is_xor_of_chunks(self, value):
+        width = 8
+        expected = 0
+        v = value
+        while v:
+            expected ^= v & 0xFF
+            v >>= width
+        assert fold_xor(value, width) == expected
+
+
+class TestRotateLeft:
+    def test_simple(self):
+        assert rotate_left(0b1001, 1, 4) == 0b0011
+
+    def test_full_rotation_identity(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=64))
+    def test_rotation_preserves_popcount(self, value, amount):
+        assert bin(rotate_left(value, amount, 8)).count("1") == bin(value & 0xFF).count("1")
+
+
+class TestSignExtend:
+    def test_negative(self):
+        assert sign_extend(0b111, 3) == -1
+
+    def test_positive(self):
+        assert sign_extend(0b011, 3) == 3
+
+    def test_min_value(self):
+        assert sign_extend(0b100, 3) == -4
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_through_bits(self, value):
+        assert sign_extend(value & 0xFF, 8) == value
+
+
+class TestPowersOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+            assert log2_exact(1 << exponent) == exponent
+
+    def test_non_powers(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)

@@ -1,0 +1,68 @@
+"""Tests for the victim cache extension."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.victim import VictimCachedCache
+from repro.policies.lru import LRUPolicy
+
+
+def make(victim_entries=4, sets=1, assoc=2):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    cache = SetAssociativeCache(geometry, LRUPolicy())
+    return VictimCachedCache(cache, victim_entries=victim_entries)
+
+
+class TestVictimBuffer:
+    def test_covers_conflict_miss(self):
+        vc = make()
+        vc.access(0 * 64)
+        vc.access(1 * 64)
+        vc.access(2 * 64)       # evicts block 0 into the buffer
+        result = vc.access(0)   # main miss, victim hit
+        assert result.miss
+        assert vc.stats.hits == 1
+        assert vc.effective_misses() == vc.cache.stats.misses - 1
+
+    def test_cold_miss_not_covered(self):
+        vc = make()
+        vc.access(0)
+        assert vc.stats.hits == 0
+        assert vc.stats.probes == 1
+
+    def test_buffer_capacity_lru(self):
+        vc = make(victim_entries=1)
+        vc.access(0 * 64)
+        vc.access(1 * 64)
+        vc.access(2 * 64)   # evict 0 -> buffer [0]
+        vc.access(3 * 64)   # evict 1 -> buffer [1] (0 dropped)
+        vc.access(0 * 64)   # 0 gone from buffer
+        assert vc.stats.hits == 0
+
+    def test_contains_includes_buffer(self):
+        vc = make()
+        vc.access(0 * 64)
+        vc.access(1 * 64)
+        vc.access(2 * 64)  # 0 now only in the victim buffer
+        assert vc.contains(0)
+        assert not vc.contains(9 * 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(victim_entries=0)
+
+    def test_hit_rate(self):
+        vc = make()
+        # Cyclic 3-block pattern in a 2-way set: every miss after warm-up
+        # is covered by the buffer.
+        for i in range(30):
+            vc.access((i % 3) * 64)
+        assert vc.covered_miss_fraction > 0.8
+
+    def test_main_cache_stats_untouched(self):
+        vc = make()
+        for i in range(10):
+            vc.access((i % 3) * 64)
+        assert vc.cache.stats.accesses == 10
+        assert vc.cache.stats.hits + vc.cache.stats.misses == 10

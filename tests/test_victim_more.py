@@ -1,0 +1,52 @@
+"""Victim-cache extension: interaction with predictive policies."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.victim import VictimCachedCache
+from repro.policies.registry import make_policy
+
+
+def wrap(policy_name="lru", victim_entries=8, sets=4, assoc=2):
+    geometry = CacheGeometry(num_sets=sets, associativity=assoc, block_size=64)
+    cache = SetAssociativeCache(geometry, make_policy(policy_name))
+    return VictimCachedCache(cache, victim_entries=victim_entries)
+
+
+class TestWithPredictivePolicies:
+    def test_ghrp_main_cache_composes(self):
+        vc = wrap("ghrp")
+        for i in range(2000):
+            address = ((i * 37) % 64) * 64
+            vc.access(address, pc=address)
+        assert vc.stats.probes == vc.cache.stats.misses
+        assert 0 <= vc.covered_miss_fraction <= 1.0
+
+    def test_srrip_main_cache_composes(self):
+        vc = wrap("srrip")
+        for i in range(2000):
+            address = ((i * 13) % 48) * 64
+            vc.access(address, pc=address)
+        assert vc.effective_misses() <= vc.cache.stats.misses
+
+
+class TestCoverageSemantics:
+    def test_conflict_heavy_pattern_well_covered(self):
+        """Three blocks conflicting in one 2-way set: a victim buffer
+        turns the steady-state conflict misses into victim hits."""
+        vc = wrap("lru", victim_entries=4, sets=1, assoc=2)
+        for i in range(60):
+            vc.access((i % 3) * 64)
+        assert vc.covered_miss_fraction > 0.8
+
+    def test_capacity_pattern_not_covered(self):
+        """A footprint far beyond main cache + buffer sees no benefit."""
+        vc = wrap("lru", victim_entries=2, sets=1, assoc=2)
+        for i in range(300):
+            vc.access((i % 50) * 64)
+        assert vc.stats.hits == 0
+
+    def test_insertions_track_evictions(self):
+        vc = wrap("lru", sets=1, assoc=2)
+        for i in range(10):
+            vc.access(i * 64)
+        assert vc.stats.insertions == vc.cache.stats.evictions

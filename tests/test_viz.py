@@ -1,0 +1,86 @@
+"""Tests for the dependency-free figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.pgm import heatmap_to_pgm, write_pgm
+from repro.viz.svg import bar_chart_svg, scurve_svg
+
+
+class TestPGM:
+    def test_header_and_payload(self, tmp_path):
+        path = tmp_path / "m.pgm"
+        write_pgm(path, np.array([[0, 128], [255, 64]], dtype=np.uint8))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n2 2\n255\n")
+        assert data[len(b"P5\n2 2\n255\n"):] == bytes([0, 128, 255, 64])
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_heatmap_zoom(self, tmp_path):
+        path = tmp_path / "h.pgm"
+        matrix = np.array([[0.0, 1.0]])
+        heatmap_to_pgm(path, matrix, zoom=4)
+        data = path.read_bytes()
+        assert b"8 4" in data.split(b"\n", 2)[1]  # width 8, height 4
+
+    def test_heatmap_clips(self, tmp_path):
+        path = tmp_path / "h.pgm"
+        heatmap_to_pgm(path, np.array([[-1.0, 2.0]]), zoom=1)
+        payload = path.read_bytes().split(b"\n", 3)[3]
+        assert payload == bytes([0, 255])
+
+    def test_zoom_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            heatmap_to_pgm(tmp_path / "h.pgm", np.zeros((1, 1)), zoom=0)
+
+    def test_end_to_end_with_tracker(self, tmp_path):
+        from repro.cache.geometry import CacheGeometry
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.policies.lru import LRUPolicy
+
+        geometry = CacheGeometry(num_sets=4, associativity=2, block_size=64)
+        cache = SetAssociativeCache(geometry, LRUPolicy(), track_efficiency=True)
+        for i in range(100):
+            cache.access((i % 12) * 64)
+        cache.finalize()
+        path = tmp_path / "eff.pgm"
+        heatmap_to_pgm(path, cache.efficiency.efficiency_matrix())
+        assert path.stat().st_size > 11
+
+
+class TestSVG:
+    def test_scurve_structure(self):
+        svg = scurve_svg({"lru": [1.0, 2.0, 5.0], "ghrp": [0.8, 1.5, 4.0]},
+                         title="S-curve")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "S-curve" in svg
+        assert "lru" in svg and "ghrp" in svg
+
+    def test_scurve_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scurve_svg({})
+
+    def test_scurve_handles_zeros(self):
+        svg = scurve_svg({"lru": [0.0, 0.0, 1.0]})
+        assert "<polyline" in svg  # floor applied, no math domain error
+
+    def test_bar_chart_structure(self):
+        svg = bar_chart_svg(
+            ["a", "b"], {"lru": [1.0, 2.0], "ghrp": [0.5, 1.8]}, title="bars"
+        )
+        assert svg.count("<rect") == 5  # background + 4 bars
+        assert "bars" in svg
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], {"lru": [1.0, 2.0]})
+
+    def test_bar_chart_escapes_labels(self):
+        svg = bar_chart_svg(["<x>"], {"p&q": [1.0]})
+        assert "&lt;x&gt;" in svg
+        assert "p&amp;q" in svg
