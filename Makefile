@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick examples figures clean
+.PHONY: install test test-fast lint bench bench-quick examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; compileall only"; \
+	fi
 
 test-fast:
 	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py

@@ -21,6 +21,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.policy_api import ReplacementPolicy
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["BTBResult", "BranchTargetBuffer"]
 
@@ -50,6 +51,7 @@ class BranchTargetBuffer:
         associativity: int,
         policy: ReplacementPolicy,
         track_efficiency: bool = False,
+        obs: Observability = NULL_OBS,
     ):
         if num_entries % associativity != 0:
             raise ValueError(
@@ -61,7 +63,10 @@ class BranchTargetBuffer:
             block_size=_ENTRY_GRANULE,
         )
         self.geometry = geometry
-        self._cache = SetAssociativeCache(geometry, policy, track_efficiency)
+        self.obs = obs
+        self._cache = SetAssociativeCache(
+            geometry, policy, track_efficiency, obs=obs, obs_scope="btb"
+        )
         self._targets = [
             [0] * geometry.associativity for _ in range(geometry.num_sets)
         ]
@@ -98,6 +103,11 @@ class BranchTargetBuffer:
             if not correct:
                 self.target_mispredictions += 1
                 self._targets[result.set_index][result.way] = target
+                if self.obs.enabled:
+                    self.obs.inc("btb.target_mispredictions")
+                    self.obs.event(
+                        "btb_target_update", pc=pc, stale_target=stored, target=target
+                    )
             return BTBResult(
                 hit=True, bypassed=False, predicted_target=stored, target_correct=correct
             )

@@ -124,6 +124,17 @@ class ReplacementPolicy(abc.ABC):
         """
         return False
 
+    def victim_telemetry(self, set_index: int, way: int) -> dict:
+        """Extra per-victim detail for the event tracer.
+
+        Called only when event tracing is enabled, after
+        :meth:`select_victim` and *before* :meth:`on_evict` clears any
+        per-block metadata.  Predictive policies override this to expose
+        what drove the decision (GHRP: stored signature, prediction bit,
+        LRU position).  Keys land verbatim in the eviction event record.
+        """
+        return {}
+
     def reset_generation(self) -> None:
         """Forget transient state between traces (keep learned tables).
 

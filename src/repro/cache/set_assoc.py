@@ -16,6 +16,7 @@ from repro.cache.efficiency import EfficiencyTracker
 from repro.cache.geometry import CacheGeometry
 from repro.cache.policy_api import AccessContext, ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["AccessResult", "SetAssociativeCache"]
 
@@ -50,11 +51,15 @@ class SetAssociativeCache:
         geometry: CacheGeometry,
         policy: ReplacementPolicy,
         track_efficiency: bool = False,
+        obs: Observability = NULL_OBS,
+        obs_scope: str = "cache",
     ):
         self.geometry = geometry
         self.policy = policy
         policy.bind(geometry)
         policy.attached_cache = self
+        self.obs = obs
+        self.obs_scope = obs_scope
         self.stats = CacheStats()
         self.efficiency: EfficiencyTracker | None = (
             EfficiencyTracker(geometry) if track_efficiency else None
@@ -89,6 +94,8 @@ class SetAssociativeCache:
                 self.policy.on_hit(set_index, way, ctx)
                 if self.efficiency is not None:
                     self.efficiency.on_hit(set_index, way, self.now)
+                if self.obs.enabled:
+                    self.obs.inc(self.obs_scope + ".hits")
                 return AccessResult(
                     hit=True, bypassed=False, set_index=set_index, way=way, victim_address=None
                 )
@@ -96,6 +103,16 @@ class SetAssociativeCache:
         # Miss path.
         if self.policy.should_bypass(set_index, ctx):
             self.stats.record_miss(bypassed=True)
+            if self.obs.enabled:
+                self.obs.inc(self.obs_scope + ".misses")
+                self.obs.inc(self.obs_scope + ".bypasses")
+                self.obs.event(
+                    "bypass",
+                    structure=self.obs_scope,
+                    set=set_index,
+                    address=block,
+                    pc=ctx.pc,
+                )
             return AccessResult(
                 hit=False, bypassed=True, set_index=set_index, way=None, victim_address=None
             )
@@ -113,9 +130,11 @@ class SetAssociativeCache:
             victim_address = (set_tags[way] << self._tag_shift) | (
                 set_index << self._offset_bits
             )
-            self.stats.record_eviction(
-                predicted_dead=self.policy.predicts_dead(set_index, way)
-            )
+            predicted_dead = self.policy.predicts_dead(set_index, way)
+            self.stats.record_eviction(predicted_dead=predicted_dead)
+            if self.obs.enabled:
+                # Telemetry must be read before on_evict clears metadata.
+                self._emit_eviction(set_index, way, victim_address, predicted_dead, block, ctx.pc)
             self.policy.on_evict(set_index, way, victim_address)
             if self.efficiency is not None:
                 self.efficiency.on_evict(set_index, way, self.now)
@@ -125,8 +144,37 @@ class SetAssociativeCache:
         self.policy.on_fill(set_index, way, ctx)
         if self.efficiency is not None:
             self.efficiency.on_fill(set_index, way, self.now)
+        if self.obs.enabled:
+            self.obs.inc(self.obs_scope + ".misses")
         return AccessResult(
             hit=False, bypassed=False, set_index=set_index, way=way, victim_address=victim_address
+        )
+
+    def _emit_eviction(
+        self,
+        set_index: int,
+        way: int,
+        victim_address: int,
+        predicted_dead: bool,
+        incoming_address: int,
+        pc: int,
+        cause: str = "demand",
+    ) -> None:
+        """Count and trace one eviction (only called with obs enabled)."""
+        self.obs.inc(self.obs_scope + ".evictions")
+        if predicted_dead:
+            self.obs.inc(self.obs_scope + ".dead_evictions")
+        self.obs.event(
+            "eviction",
+            structure=self.obs_scope,
+            set=set_index,
+            way=way,
+            victim_address=victim_address,
+            predicted_dead=predicted_dead,
+            incoming_address=incoming_address,
+            pc=pc,
+            cause=cause,
+            **self.policy.victim_telemetry(set_index, way),
         )
 
     def prefetch_fill(self, address: int, pc: int | None = None) -> bool:
@@ -152,9 +200,13 @@ class SetAssociativeCache:
             victim_address = (set_tags[way] << self._tag_shift) | (
                 set_index << self._offset_bits
             )
-            self.stats.record_eviction(
-                predicted_dead=self.policy.predicts_dead(set_index, way)
-            )
+            predicted_dead = self.policy.predicts_dead(set_index, way)
+            self.stats.record_eviction(predicted_dead=predicted_dead)
+            if self.obs.enabled:
+                self._emit_eviction(
+                    set_index, way, victim_address, predicted_dead, block, ctx.pc,
+                    cause="prefetch",
+                )
             self.policy.on_evict(set_index, way, victim_address)
             if self.efficiency is not None:
                 self.efficiency.on_evict(set_index, way, self.now)

@@ -12,19 +12,37 @@ Subcommands:
 - ``storage``   — print Table I (GHRP and modified-SDBP storage);
 - ``report``    — run a suite grid (with result caching) and write a
   markdown report;
+- ``trace``     — run one workload with full observability: a structured
+  event JSONL (evictions, bypasses, wrong-path episodes, ...) plus a
+  metrics and per-phase timing summary;
 - ``gen-trace`` — synthesize a workload and write it as a trace file;
 - ``characterize`` — reuse-distance + deadness analysis of a workload.
+
+Global flags (accepted before or after the subcommand):
+
+- ``--log-level {debug,info,warning,error}`` — stdlib-logging verbosity
+  (progress lines for ``suite``/``report`` log at INFO);
+- ``--metrics-out PATH`` — write the run's metrics registry, span timing
+  tree, and event totals as JSON (simulation subcommands).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 from collections.abc import Sequence
 
 from repro.experiments import figures
-from repro.experiments.runner import run_grid, run_workload
+from repro.experiments.runner import run_cell, run_grid, run_workload
 from repro.frontend.config import FrontEndConfig
+from repro.obs import (
+    LOG_LEVELS,
+    NULL_OBS,
+    EventTracer,
+    GridProgressReporter,
+    Observability,
+    configure_logging,
+)
 from repro.policies.registry import available_policies
 from repro.traces.io import read_trace, write_trace
 from repro.workloads.spec import Category
@@ -33,12 +51,27 @@ from repro.workloads.suite import make_suite, make_workload
 __all__ = ["main"]
 
 
+def _normalize_category(value: str) -> str:
+    """Accept ``short_server`` as a spelling of ``short-server``."""
+    return value.replace("_", "-")
+
+
+def _sample_rate(value: str) -> float:
+    rate = float(value)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {value}"
+        )
+    return rate
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--category",
+        type=_normalize_category,
         choices=[c.value for c in Category],
         default=Category.SHORT_SERVER.value,
-        help="workload category preset",
+        help="workload category preset (dashes and underscores both accepted)",
     )
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
     parser.add_argument(
@@ -53,6 +86,27 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--block-size", type=int, default=64)
     parser.add_argument("--btb-entries", type=int, default=4096)
     parser.add_argument("--btb-assoc", type=int, default=4)
+
+
+def _add_global_arguments(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
+    """Logging/metrics flags, on the root parser and every subcommand.
+
+    Subcommand copies use ``SUPPRESS`` defaults so they override the root
+    value only when actually given (argparse subparser defaults would
+    otherwise clobber a flag placed before the subcommand).
+    """
+    default: object = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=argparse.SUPPRESS if suppress else "info",
+        help="stdlib logging verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=default,
+        help="write a JSON metrics/timing summary to this path",
+    )
 
 
 def _config_from(args: argparse.Namespace, policy: str) -> FrontEndConfig:
@@ -74,39 +128,60 @@ def _workload_from(args: argparse.Namespace):
     )
 
 
+def _obs_from(args: argparse.Namespace, tracer: EventTracer | None = None) -> Observability:
+    """An enabled facade when --metrics-out (or a tracer) asks for one."""
+    if tracer is None and not getattr(args, "metrics_out", None):
+        return NULL_OBS
+    return Observability(tracer=tracer)
+
+
+def _write_metrics(args: argparse.Namespace, obs: Observability) -> None:
+    path = getattr(args, "metrics_out", None)
+    if not path or not obs.enabled:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obs.summary(), handle, indent=2)
+        handle.write("\n")
+    print(f"wrote metrics summary to {path}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from(args, args.policy)
+    obs = _obs_from(args)
     if args.trace:
         from repro.frontend.engine import build_frontend
 
-        frontend = build_frontend(config)
-        result = frontend.run(read_trace(args.trace), warmup_instructions=args.warmup)
+        frontend = build_frontend(config, obs=obs)
+        with obs.span("simulate"):
+            result = frontend.run(read_trace(args.trace), warmup_instructions=args.warmup)
     else:
         workload = _workload_from(args)
-        result = run_workload(workload, config)
+        result = run_workload(workload, config, obs=obs)
     print(result.summary_line())
+    _write_metrics(args, obs)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload_from(args)
-    grid = run_grid([workload], list(args.policies), _config_from(args, "lru"))
+    obs = _obs_from(args)
+    grid = run_grid([workload], list(args.policies), _config_from(args, "lru"), obs=obs)
     print(grid.icache.render(reference="lru"))
     print()
     print(grid.btb.render(reference="lru"))
+    _write_metrics(args, obs)
     return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
-    def progress(cell):
-        print(
-            f"  {cell.workload} / {cell.policy}: icache={cell.icache_mpki:.3f} "
-            f"btb={cell.btb_mpki:.3f} ({cell.elapsed_seconds:.1f}s)",
-            file=sys.stderr,
-        )
-    grid = run_grid(suite, list(args.policies), _config_from(args, "lru"), progress=progress)
+    obs = _obs_from(args)
+    progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
+    grid = run_grid(
+        suite, list(args.policies), _config_from(args, "lru"), progress=progress, obs=obs
+    )
     print(figures.headline_numbers(grid).render())
+    _write_metrics(args, obs)
     return 0
 
 
@@ -140,19 +215,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
     config = _config_from(args, "lru")
     store = ResultStore(args.store)
-
-    def progress(cell):
-        print(
-            f"  {cell.workload} / {cell.policy}: icache={cell.icache_mpki:.3f} "
-            f"({cell.elapsed_seconds:.1f}s)",
-            file=sys.stderr,
-        )
-
-    grid = run_grid_cached(suite, list(args.policies), config, store, progress=progress)
+    obs = _obs_from(args)
+    progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
+    grid = run_grid_cached(
+        suite, list(args.policies), config, store, progress=progress, obs=obs
+    )
     report = markdown_report(grid, title=f"GHRP reproduction report (seed {args.seed})")
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
     print(f"wrote report to {args.output} ({len(store)} cells cached in {args.store})")
+    _write_metrics(args, obs)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one cell fully instrumented; write event JSONL + summary."""
+    config = _config_from(args, args.policy).with_overrides(
+        wrong_path_depth=args.wrong_path_depth
+    )
+    workload = _workload_from(args)
+    with EventTracer.open(
+        args.out,
+        sample_rate=args.sample_rate,
+        seed=args.trace_seed,
+        max_events=args.max_events,
+    ) as tracer:
+        obs = Observability(tracer=tracer)
+        cell = run_cell(workload, args.policy, config, obs=obs)
+    print(
+        f"{cell.workload} / {cell.policy}: icache_mpki={cell.icache_mpki:.3f} "
+        f"btb_mpki={cell.btb_mpki:.3f} instructions={cell.instructions}"
+    )
+    print(obs.render())
+    print(
+        f"wrote {tracer.written} events ({tracer.seq} emitted, sample rate "
+        f"{args.sample_rate:g}) to {args.out}"
+    )
+    _write_metrics(args, obs)
     return 0
 
 
@@ -177,16 +276,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="GHRP reproduction: front-end replacement-policy simulator",
     )
+    _add_global_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    simulate = subparsers.add_parser("simulate", help="run one workload under one policy")
+    def add_subcommand(name: str, help: str) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=help)
+        _add_global_arguments(sub, suppress=True)
+        return sub
+
+    simulate = add_subcommand("simulate", "run one workload under one policy")
     _add_workload_arguments(simulate)
     _add_config_arguments(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="ghrp")
     simulate.add_argument("--warmup", type=int, default=100_000)
     simulate.set_defaults(func=_cmd_simulate)
 
-    compare = subparsers.add_parser("compare", help="compare policies on one workload")
+    compare = add_subcommand("compare", "compare policies on one workload")
     _add_workload_arguments(compare)
     _add_config_arguments(compare)
     compare.add_argument(
@@ -195,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.set_defaults(func=_cmd_compare)
 
-    suite = subparsers.add_parser("suite", help="run the suite and print headline numbers")
+    suite = add_subcommand("suite", "run the suite and print headline numbers")
     suite.add_argument("--seed", type=int, default=2018)
     suite.add_argument("--trace-scale", type=float, default=1.0)
     suite.add_argument(
@@ -205,17 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
 
-    timing = subparsers.add_parser("timing", help="cycle-approximate CPI for one workload")
+    timing = add_subcommand("timing", "cycle-approximate CPI for one workload")
     _add_workload_arguments(timing)
     _add_config_arguments(timing)
     timing.add_argument("--policy", choices=available_policies(), default="ghrp")
     timing.set_defaults(func=_cmd_timing)
 
-    storage = subparsers.add_parser("storage", help="print Table I storage breakdowns")
+    storage = add_subcommand("storage", "print Table I storage breakdowns")
     _add_config_arguments(storage)
     storage.set_defaults(func=_cmd_storage)
 
-    report = subparsers.add_parser("report", help="run a cached suite grid; write a markdown report")
+    report = add_subcommand("report", "run a cached suite grid; write a markdown report")
     report.add_argument("--seed", type=int, default=2018)
     report.add_argument("--trace-scale", type=float, default=1.0)
     report.add_argument("--policies", nargs="+", default=list(figures.PAPER_POLICIES),
@@ -226,13 +331,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(report)
     report.set_defaults(func=_cmd_report)
 
-    gen = subparsers.add_parser("gen-trace", help="write a synthetic workload as a trace file")
+    trace = add_subcommand(
+        "trace", "run one workload fully instrumented; write an event JSONL"
+    )
+    _add_workload_arguments(trace)
+    _add_config_arguments(trace)
+    trace.add_argument("--policy", choices=available_policies(), default="ghrp")
+    trace.add_argument("--out", default="trace-events.jsonl",
+                       help="event JSONL output path")
+    trace.add_argument("--sample-rate", type=_sample_rate, default=1.0,
+                       help="probability of keeping each event (deterministic per seed)")
+    trace.add_argument("--trace-seed", type=int, default=0,
+                       help="sampling seed (same seed keeps the same events)")
+    trace.add_argument("--max-events", type=int, default=None,
+                       help="hard cap on written event records")
+    trace.add_argument("--wrong-path-depth", type=int, default=4,
+                       help="wrong-path fetch depth (so wrong-path events appear)")
+    trace.set_defaults(func=_cmd_trace)
+
+    gen = add_subcommand("gen-trace", "write a synthetic workload as a trace file")
     _add_workload_arguments(gen)
     gen.add_argument("output", help="output trace path")
     gen.set_defaults(func=_cmd_gen_trace)
 
-    characterize = subparsers.add_parser(
-        "characterize", help="reuse-distance and deadness analysis of a workload"
+    characterize = add_subcommand(
+        "characterize", "reuse-distance and deadness analysis of a workload"
     )
     _add_workload_arguments(characterize)
     characterize.add_argument("--branches", type=int, default=20_000)
@@ -243,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)
 
 

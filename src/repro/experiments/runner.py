@@ -5,7 +5,13 @@ The runner owns the methodology plumbing shared by every figure:
 - the paper's warm-up rule (half the trace's instructions, capped),
 - fresh front-end state per (policy, workload) cell,
 - capture of both I-cache and BTB MPKI (plus auxiliary statistics) so
-  one grid pass feeds both the I-cache figures and the BTB figures.
+  one grid pass feeds both the I-cache figures and the BTB figures,
+- per-cell wall-clock accounting, split into setup (workload
+  materialization + front-end construction) and simulation proper.
+
+Every entry point takes an optional :class:`~repro.obs.Observability`;
+the default no-op instance keeps results bit-identical to an
+uninstrumented run.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import build_frontend
+from repro.obs import NULL_OBS, Observability
 from repro.stats.mpki import MPKITable
 from repro.workloads.suite import Workload
 
@@ -24,7 +31,14 @@ __all__ = ["CellResult", "GridResult", "run_cell", "run_workload", "run_grid"]
 
 @dataclass(frozen=True, slots=True)
 class CellResult:
-    """Measured outcome of one (policy, workload) simulation."""
+    """Measured outcome of one (policy, workload) simulation.
+
+    ``elapsed_seconds`` is total wall time and always equals
+    ``setup_seconds + simulate_seconds``; the split keeps front-end
+    construction and trace materialization from skewing throughput
+    numbers.  (The split fields default to 0.0 so result stores written
+    before they existed still load.)
+    """
 
     policy: str
     workload: str
@@ -38,16 +52,31 @@ class CellResult:
     dead_evictions: int
     bypasses: int
     elapsed_seconds: float
+    setup_seconds: float = 0.0
+    simulate_seconds: float = 0.0
 
 
 @dataclass(slots=True)
 class GridResult:
-    """All cells of a grid, with MPKI table views."""
+    """All cells of a grid, with MPKI table views.
+
+    Lookups go through a (policy, workload) index maintained by
+    :meth:`add`; on duplicate keys the first cell wins, matching the old
+    linear scan.
+    """
 
     cells: list[CellResult] = field(default_factory=list)
+    _index: dict[tuple[str, str], CellResult] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for cell in self.cells:
+            self._index.setdefault((cell.policy, cell.workload), cell)
 
     def add(self, cell: CellResult) -> None:
         self.cells.append(cell)
+        self._index.setdefault((cell.policy, cell.workload), cell)
 
     @property
     def icache(self) -> MPKITable:
@@ -64,10 +93,10 @@ class GridResult:
         return table
 
     def cell(self, policy: str, workload: str) -> CellResult:
-        for candidate in self.cells:
-            if candidate.policy == policy and candidate.workload == workload:
-                return candidate
-        raise KeyError(f"no cell for ({policy!r}, {workload!r})")
+        try:
+            return self._index[(policy, workload)]
+        except KeyError:
+            raise KeyError(f"no cell for ({policy!r}, {workload!r})") from None
 
 
 def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
@@ -78,40 +107,66 @@ def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
     )
 
 
-def run_workload(workload: Workload, config: FrontEndConfig):
+def run_workload(workload: Workload, config: FrontEndConfig, obs: Observability = NULL_OBS):
     """Simulate one workload under ``config``; returns SimulationResult."""
-    frontend = build_frontend(config)
-    return frontend.run(
-        workload.records(),
-        warmup_instructions=_warmup_for(workload, config),
-        max_instructions=config.max_instructions,
-    )
+    with obs.span("setup"):
+        frontend = build_frontend(config, obs=obs)
+        warmup = _warmup_for(workload, config)
+    with obs.span("simulate"):
+        return frontend.run(
+            workload.records(),
+            warmup_instructions=warmup,
+            max_instructions=config.max_instructions,
+        )
 
 
-def run_cell(workload: Workload, policy: str, config: FrontEndConfig) -> CellResult:
+def run_cell(
+    workload: Workload,
+    policy: str,
+    config: FrontEndConfig,
+    obs: Observability = NULL_OBS,
+) -> CellResult:
     """Simulate one (policy, workload) cell with fresh front-end state."""
     cell_config = config.with_overrides(icache_policy=policy, btb_policy=policy)
-    started = time.perf_counter()
-    frontend = build_frontend(cell_config)
-    result = frontend.run(
-        workload.records(),
-        warmup_instructions=_warmup_for(workload, cell_config),
-        max_instructions=cell_config.max_instructions,
-    )
-    return CellResult(
-        policy=policy,
-        workload=workload.name,
-        icache_mpki=result.icache_mpki,
-        btb_mpki=result.btb_mpki,
-        icache_misses=result.icache_measured.misses,
-        btb_misses=result.btb_measured.misses,
-        instructions=result.instructions,
-        branches=result.branches,
-        direction_accuracy=result.direction_accuracy,
-        dead_evictions=frontend.icache.stats.dead_evictions,
-        bypasses=frontend.icache.stats.bypasses,
-        elapsed_seconds=time.perf_counter() - started,
-    )
+    cell_span = obs.start_span(f"cell:{policy}/{workload.name}")
+
+    # Setup phase: workload materialization (the warm-up rule walks the
+    # trace to count instructions) plus front-end construction.  Kept out
+    # of the simulation time so MPKI/s throughput numbers stay honest.
+    setup_started = time.perf_counter()
+    with obs.span("setup"):
+        frontend = build_frontend(cell_config, obs=obs)
+        warmup = _warmup_for(workload, cell_config)
+    setup_seconds = time.perf_counter() - setup_started
+
+    simulate_started = time.perf_counter()
+    with obs.span("simulate"):
+        result = frontend.run(
+            workload.records(),
+            warmup_instructions=warmup,
+            max_instructions=cell_config.max_instructions,
+        )
+    simulate_seconds = time.perf_counter() - simulate_started
+
+    with obs.span("collect"):
+        cell = CellResult(
+            policy=policy,
+            workload=workload.name,
+            icache_mpki=result.icache_mpki,
+            btb_mpki=result.btb_mpki,
+            icache_misses=result.icache_measured.misses,
+            btb_misses=result.btb_measured.misses,
+            instructions=result.instructions,
+            branches=result.branches,
+            direction_accuracy=result.direction_accuracy,
+            dead_evictions=frontend.icache.stats.dead_evictions,
+            bypasses=frontend.icache.stats.bypasses,
+            elapsed_seconds=setup_seconds + simulate_seconds,
+            setup_seconds=setup_seconds,
+            simulate_seconds=simulate_seconds,
+        )
+    obs.finish_span(cell_span)
+    return cell
 
 
 def run_grid(
@@ -119,13 +174,14 @@ def run_grid(
     policies: Sequence[str],
     config: FrontEndConfig | None = None,
     progress: Callable[[CellResult], None] | None = None,
+    obs: Observability = NULL_OBS,
 ) -> GridResult:
     """Run every (policy, workload) cell; optionally report progress."""
     config = config or FrontEndConfig()
     grid = GridResult()
     for workload in workloads:
         for policy in policies:
-            cell = run_cell(workload, policy, config)
+            cell = run_cell(workload, policy, config, obs=obs)
             grid.add(cell)
             if progress is not None:
                 progress(cell)

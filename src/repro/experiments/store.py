@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.experiments.runner import CellResult, GridResult, run_cell
 from repro.frontend.config import FrontEndConfig
+from repro.obs import NULL_OBS, Observability
 from repro.util.hashing import mix64
 from repro.workloads.suite import Workload
 
@@ -102,6 +103,7 @@ def run_grid_cached(
     config: FrontEndConfig,
     store: ResultStore,
     progress=None,
+    obs: Observability = NULL_OBS,
 ) -> GridResult:
     """run_grid with read-through caching into ``store``.
 
@@ -114,7 +116,7 @@ def run_grid_cached(
         for policy in policies:
             cell = store.get(workload, policy, config)
             if cell is None:
-                cell = run_cell(workload, policy, config)
+                cell = run_cell(workload, policy, config, obs=obs)
                 store.put(workload, policy, config, cell)
                 store.save()
             grid.add(cell)

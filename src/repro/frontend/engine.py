@@ -31,6 +31,7 @@ from repro.core.ghrp import GHRPPredictor
 from repro.branch.indirect import IndirectTargetPredictor
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.results import SimulationResult
+from repro.obs import NULL_OBS, Observability
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.engine import PrefetchingICache
 from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
@@ -54,12 +55,14 @@ class FrontEnd:
         wrong_path_depth: int = 0,
         prefetcher: Prefetcher | None = None,
         indirect: IndirectTargetPredictor | None = None,
+        obs: Observability = NULL_OBS,
     ):
         self.icache = icache
         self.btb = btb
         self.direction = direction
         self.ras = ras
         self.ghrp = ghrp
+        self.obs = obs
         self.wrong_path_depth = wrong_path_depth
         self.wrong_path_accesses = 0
         self.prefetcher = prefetcher
@@ -83,6 +86,12 @@ class FrontEnd:
         wrong-path cache accesses"; GHRP suppresses table training while
         the wrong-path flag is up, then recovers its speculative history.
         """
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("frontend.wrong_path_episodes")
+            obs.event(
+                "wrong_path_enter", pc=wrong_next_pc, depth=self.wrong_path_depth
+            )
         for policy in self._ghrp_policies:
             if isinstance(policy, GHRPPolicy):
                 policy.wrong_path = True
@@ -97,6 +106,32 @@ class FrontEnd:
                 policy.wrong_path = False
         if self.ghrp is not None:
             self.ghrp.recover_history()
+        if obs.enabled:
+            obs.event("wrong_path_exit", accesses=self.wrong_path_depth)
+            if self.ghrp is not None:
+                obs.inc("frontend.history_recoveries")
+                obs.event("history_recovery", pc=wrong_next_pc)
+
+    def _emit_table_saturation(self, phase: str) -> None:
+        """Trace how saturated the GHRP prediction tables are right now.
+
+        The training dynamics of Section III are invisible in MPKI alone;
+        this exposes them at the warm-up boundary and at end of run.
+        Only called with observability enabled.
+        """
+        if self.ghrp is None:
+            return
+        tables = self.ghrp.tables
+        fraction = tables.saturation_fraction(self.ghrp.config.dead_threshold)
+        self.obs.set_gauge("ghrp.table_saturation", fraction)
+        self.obs.event(
+            "table_saturation",
+            phase=phase,
+            fraction=fraction,
+            predictions=tables.predictions,
+            increments=tables.increments,
+            decrements=tables.decrements,
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -111,11 +146,15 @@ class FrontEnd:
         icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
         icache_port = self._icache_port
         indirect = self.indirect
+        obs = self.obs
         block_size = icache.geometry.block_size
         stream = FetchBlockStream(records)
         icache_warm = btb_warm = None
         warmed_at = 0
         simulate_wrong_path = self.wrong_path_depth > 0
+        # The warm-up/measured boundary falls mid-loop, so the phase spans
+        # use explicit start/finish rather than ``with`` blocks.
+        phase_span = obs.start_span("warm-up")
 
         for chunk in stream:
             start_pc = chunk.start_pc
@@ -156,10 +195,23 @@ class FrontEnd:
                 icache_warm = icache.stats.snapshot()
                 btb_warm = btb.stats.snapshot()
                 warmed_at = stream.instructions_seen
+                if obs.enabled:
+                    obs.finish_span(phase_span)
+                    phase_span = obs.start_span("measured")
+                    obs.set_gauge("sim.warmup_instructions", warmed_at)
+                    obs.event(
+                        "warmup_complete",
+                        instructions=warmed_at,
+                        icache_misses=icache_warm.misses,
+                        btb_misses=btb_warm.misses,
+                    )
+                    self._emit_table_saturation(phase="warmup")
 
             if max_instructions is not None and stream.instructions_seen >= max_instructions:
                 break
 
+        obs.finish_span(phase_span)
+        stats_span = obs.start_span("stats-collect")
         icache.stats.instructions = stream.instructions_seen
         btb.stats.instructions = stream.instructions_seen
         if icache_warm is None:
@@ -170,6 +222,11 @@ class FrontEnd:
             warmed_at = 0
         icache.finalize()
         btb.finalize()
+        if obs.enabled:
+            obs.set_gauge("sim.instructions", stream.instructions_seen)
+            obs.set_gauge("sim.branches", stream.branches_seen)
+            self._emit_table_saturation(phase="end")
+        obs.finish_span(stats_span)
 
         return SimulationResult(
             instructions=stream.instructions_seen,
@@ -236,21 +293,33 @@ def _build_policies(
     return icache_policy, btb_policy, ghrp
 
 
-def build_frontend(config: FrontEndConfig | None = None) -> FrontEnd:
-    """Construct a complete front end from a configuration."""
+def build_frontend(
+    config: FrontEndConfig | None = None, obs: Observability = NULL_OBS
+) -> FrontEnd:
+    """Construct a complete front end from a configuration.
+
+    ``obs`` is shared by the I-cache (scope ``icache``), the BTB (scope
+    ``btb``), and the engine itself; the default no-op instance keeps
+    results bit-identical to an uninstrumented build.
+    """
     config = config or FrontEndConfig()
     icache_policy, btb_policy, ghrp = _build_policies(config)
     geometry = CacheGeometry.from_capacity(
         config.icache_bytes, config.icache_assoc, config.block_size
     )
     icache = SetAssociativeCache(
-        geometry, icache_policy, track_efficiency=config.track_efficiency
+        geometry,
+        icache_policy,
+        track_efficiency=config.track_efficiency,
+        obs=obs,
+        obs_scope="icache",
     )
     btb = BranchTargetBuffer(
         config.btb_entries,
         config.btb_assoc,
         btb_policy,
         track_efficiency=config.track_efficiency,
+        obs=obs,
     )
     direction = make_predictor(config.direction_predictor)
     ras = ReturnAddressStack(config.ras_depth)
@@ -273,4 +342,5 @@ def build_frontend(config: FrontEndConfig | None = None) -> FrontEnd:
         wrong_path_depth=config.wrong_path_depth,
         prefetcher=prefetcher,
         indirect=indirect,
+        obs=obs,
     )

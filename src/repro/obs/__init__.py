@@ -1,0 +1,155 @@
+"""Observability: metrics, span timing, event tracing, progress, logging.
+
+The package is built around one facade, :class:`Observability`, threaded as
+an optional argument through the simulation stack (cache engine, BTB,
+front end, experiment runner).  Every call site defaults to the shared
+no-op instance :data:`NULL_OBS`, so:
+
+- with observability **off** (the default) results are bit-identical to an
+  uninstrumented build and the hot-path cost is a single attribute check
+  (``if obs.enabled:``);
+- with observability **on**, counters are one dict operation and events go
+  through the sampled JSONL tracer.
+
+Typical enabled use::
+
+    from repro.obs import EventTracer, Observability
+
+    with EventTracer.open("events.jsonl", sample_rate=0.1, seed=7) as tracer:
+        obs = Observability(tracer=tracer)
+        cell = run_cell(workload, "ghrp", config, obs=obs)
+    print(obs.render())
+
+See docs/observability.md for the event schema and metric names.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventTracer, read_events
+from repro.obs.logconfig import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.progress import GridProgressReporter
+from repro.obs.spans import Span, SpanTracker
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "SpanTracker",
+    "Span",
+    "EventTracer",
+    "read_events",
+    "GridProgressReporter",
+    "configure_logging",
+    "get_logger",
+    "LOG_LEVELS",
+]
+
+
+class _NullContext:
+    """A reusable do-nothing context manager (the disabled ``span``)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Observability:
+    """Facade bundling a metrics registry, span tracker, and event tracer.
+
+    Hot-path call sites guard with ``if obs.enabled:`` before building
+    event payloads; the facade's own methods also no-op when disabled, so
+    forgetting the guard costs speed, never correctness.
+    """
+
+    __slots__ = ("enabled", "metrics", "spans", "tracer")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: EventTracer | None = None,
+        spans: SpanTracker | None = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanTracker()
+        self.tracer = tracer
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    # -- metrics --------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.metrics.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float, bounds=DEFAULT_BUCKETS) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value, bounds)
+
+    # -- events ---------------------------------------------------------
+    def event(self, kind: str, **fields) -> None:
+        """Emit one structured event (dropped if no tracer is attached)."""
+        if self.enabled and self.tracer is not None:
+            self.tracer.emit(kind, fields)
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str):
+        """Context manager timing one phase; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self.spans.span(name)
+
+    def start_span(self, name: str) -> Span | None:
+        """Explicit-boundary variant of :meth:`span` (returns None when off)."""
+        if not self.enabled:
+            return None
+        return self.spans.start(name)
+
+    def finish_span(self, span: Span | None) -> None:
+        if span is not None:
+            self.spans.finish(span)
+
+    # -- readout --------------------------------------------------------
+    def summary(self) -> dict:
+        """Everything collected, as plain dicts (``json.dump``-ready)."""
+        summary = {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.tree(),
+        }
+        if self.tracer is not None:
+            summary["events"] = self.tracer.summary()
+        return summary
+
+    def render(self) -> str:
+        """Human-readable metrics + timing-tree summary."""
+        parts = [self.metrics.render(), self.spans.render()]
+        if self.tracer is not None:
+            trace = self.tracer.summary()
+            kinds = ", ".join(
+                f"{kind}={count}" for kind, count in trace["by_kind"].items()
+            )
+            parts.append(
+                f"events: {trace['written']} written, {trace['dropped']} "
+                f"dropped (rate {trace['sample_rate']:g}); {kinds or 'none'}"
+            )
+        return "\n".join(parts)
+
+
+NULL_OBS = Observability.disabled()
+"""The shared no-op instance every instrumented call site defaults to."""

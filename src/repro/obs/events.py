@@ -1,0 +1,121 @@
+"""The sampled structured-event tracer.
+
+Records simulation events — evictions, bypasses, wrong-path episodes,
+path-history recoveries, prediction-table saturation — as one JSON object
+per line (JSONL).  Long runs stay bounded two ways:
+
+- ``sample_rate`` keeps each event with a fixed probability, drawn from a
+  :class:`~repro.util.rng.DeterministicRng` so the same seed always keeps
+  the same events (trace diffs stay meaningful across runs);
+- ``max_events`` hard-caps the number of written records.
+
+Every event is *counted* per kind even when sampled out, so the summary
+totals are exact regardless of the sampling rate.  Each written record
+carries ``seq``, the 1-based index over all emitted (pre-sampling) events,
+so gaps in ``seq`` show exactly where sampling dropped records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+__all__ = ["EventTracer", "read_events"]
+
+
+class EventTracer:
+    """Writes sampled simulation events as JSON lines to a sink.
+
+    ``sink`` is any object with ``write(str)``; use :meth:`open` to write
+    to a path (the tracer then owns and closes the file).
+    """
+
+    def __init__(
+        self,
+        sink: IO[str],
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        max_events: int | None = None,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self._sink = sink
+        self._owns_sink = False
+        self.sample_rate = sample_rate
+        self.max_events = max_events
+        self._rng = DeterministicRng(derive_seed(seed, "event-trace"))
+        self.seq = 0          # all emitted events, sampled or not
+        self.written = 0      # records actually written
+        self.dropped = 0      # sampled out or over the cap
+        self.counts: dict[str, int] = {}  # exact per-kind totals
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs) -> "EventTracer":
+        """Create a tracer writing to ``path`` (owned: ``close`` closes it)."""
+        handle = Path(path).open("w", encoding="utf-8")
+        tracer = cls(handle, **kwargs)
+        tracer._owns_sink = True
+        return tracer
+
+    def emit(self, kind: str, fields: dict) -> None:
+        """Record one event; sampling decides whether it reaches the sink."""
+        self.seq += 1
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.dropped += 1
+            return
+        if self.max_events is not None and self.written >= self.max_events:
+            self.dropped += 1
+            return
+        record = {"seq": self.seq, "kind": kind}
+        record.update(fields)
+        self._sink.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def summary(self) -> dict:
+        """Exact totals: per-kind counts plus written/dropped bookkeeping."""
+        return {
+            "emitted": self.seq,
+            "written": self.written,
+            "dropped": self.dropped,
+            "sample_rate": self.sample_rate,
+            "by_kind": dict(sorted(self.counts.items())),
+        }
+
+    def flush(self) -> None:
+        flush = getattr(self._sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "EventTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path, kind: str | None = None) -> Iterator[dict]:
+    """Parse an event JSONL back into dicts, optionally filtered by kind.
+
+    This is the documented way to consume a trace::
+
+        from repro.obs import read_events
+        evictions = [e for e in read_events("trace-events.jsonl", "eviction")]
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if kind is None or event.get("kind") == kind:
+                yield event

@@ -1,0 +1,36 @@
+"""Stdlib-logging configuration for the CLI and long-running sweeps.
+
+All repository loggers live under the ``repro`` namespace
+(``repro.progress``, ``repro.cli``, ...).  :func:`configure_logging` is the
+single place the root handler is installed; libraries only ever call
+:func:`get_logger`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "configure_logging", "get_logger"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: str = "info", stream=None) -> None:
+    """Install a stderr handler at ``level`` (idempotent: reconfigures)."""
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+        stream=stream if stream is not None else sys.stderr,
+        force=True,
+    )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("progress")``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,142 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Built for the simulation hot path: a counter increment is one dict
+operation, a histogram observation is one ``bisect`` plus two additions.
+There is no label cartesian product, no time-series storage, no locking —
+one registry belongs to one simulation run and is read out at the end
+with :meth:`MetricsRegistry.snapshot`.
+
+Naming convention (see docs/observability.md): dotted lower-case paths,
+``<structure>.<counter>`` — e.g. ``icache.evictions``,
+``btb.target_mispredictions``, ``frontend.wrong_path_episodes``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+__all__ = ["Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+# Generic power-of-4 buckets; callers with a known range pass their own.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+class Histogram:
+    """A fixed-bucket histogram: counts per bucket plus sum/count/min/max.
+
+    ``bounds`` are the *upper* edges of the finite buckets; one overflow
+    bucket catches everything above the last bound, so ``len(counts) ==
+    len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        ordered = tuple(sorted(bounds))
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one simulation run."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- hot-path writes ------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero on first use)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Add one observation to histogram ``name``.
+
+        ``bounds`` applies only on first use; later observations reuse the
+        histogram's existing buckets.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
+    # -- reads ----------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of every metric, ready for ``json.dump``."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (counters, gauges, histograms)."""
+        lines = ["metrics:"]
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"  {name} = {value}")
+        for name, value in sorted(self._gauges.items()):
+            lines.append(f"  {name} = {value:.6g}")
+        for name, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"  {name} = histogram(count={histogram.count}, "
+                f"mean={histogram.mean:.6g}, min={histogram.min}, "
+                f"max={histogram.max})"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Span timing: a per-phase wall-clock tree for one simulation run.
+
+Replaces the old single ``elapsed_seconds`` with a structured breakdown —
+workload materialization, warm-up, measured run, stats collection — that
+nests naturally: a span started while another is open becomes its child.
+
+Two usage styles:
+
+- ``with tracker.span("simulate"): ...`` for straight-line phases, and
+- ``span = tracker.start("warm-up"); ...; tracker.finish(span)`` for
+  phases whose boundary falls mid-loop (the engine's warm-up crossing).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Span", "SpanTracker"]
+
+
+class Span:
+    """One timed phase: name, wall-clock duration, child spans."""
+
+    __slots__ = ("name", "started", "elapsed", "children")
+
+    def __init__(self, name: str, started: float):
+        self.name = name
+        self.started = started
+        self.elapsed: float | None = None  # None while still open
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.elapsed,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class SpanTracker:
+    """Owns the span stack and the finished-phase tree of one run."""
+
+    __slots__ = ("roots", "_stack", "_clock")
+
+    def __init__(self, clock=time.perf_counter):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._clock = clock
+
+    def start(self, name: str) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(name, self._clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and, defensively, anything opened inside it)."""
+        now = self._clock()
+        while self._stack:
+            top = self._stack.pop()
+            if top.elapsed is None:
+                top.elapsed = now - top.started
+            if top is span:
+                return
+        raise ValueError(f"span {span.name!r} is not open")
+
+    @contextmanager
+    def span(self, name: str):
+        span = self.start(name)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def tree(self) -> list[dict]:
+        """The finished timing tree as plain dicts (``json.dump``-ready)."""
+        return [root.to_dict() for root in self.roots]
+
+    def render(self) -> str:
+        """Indented human-readable timing tree."""
+        lines = ["timings:"]
+
+        def walk(span: Span, depth: int) -> None:
+            seconds = "open" if span.elapsed is None else f"{span.elapsed:.3f}s"
+            lines.append(f"{'  ' * (depth + 1)}{span.name}: {seconds}")
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

@@ -138,6 +138,19 @@ class GHRPPolicy(ReplacementPolicy):
     def stored_signature(self, set_index: int, way: int) -> int | None:
         return self._signatures[set_index][way]
 
+    def victim_telemetry(self, set_index: int, way: int) -> dict:
+        """What drove this eviction: signature, dead vote, recency rank.
+
+        ``lru_position`` counts from the MRU block (0 = most recently
+        used, associativity-1 = LRU).  Only called with tracing enabled.
+        """
+        recency = self._last_use[set_index]
+        return {
+            "signature": self._signatures[set_index][way],
+            "predicted_dead_vote": self._pred_dead[set_index][way],
+            "lru_position": sum(1 for value in recency if value > recency[way]),
+        }
+
     def stored_signature_for(self, pc: int) -> int | None:
         """Signature of the resident I-cache block containing ``pc``.
 
@@ -267,6 +280,16 @@ class GHRPBTBPolicy(ReplacementPolicy):
 
     def predicts_dead(self, set_index: int, way: int) -> bool:
         return self._pred_dead[set_index][way]
+
+    def victim_telemetry(self, set_index: int, way: int) -> dict:
+        recency = self._last_use[set_index]
+        detail = {
+            "predicted_dead_vote": self._pred_dead[set_index][way],
+            "lru_position": sum(1 for value in recency if value > recency[way]),
+        }
+        if self.standalone:
+            detail["signature"] = self._signatures[set_index][way]
+        return detail
 
     def reset_generation(self) -> None:
         if self.standalone:

@@ -1,0 +1,241 @@
+"""Unit tests for the observability package (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    EventTracer,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanTracker,
+    read_events,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        assert registry.counter("icache.evictions") == 0
+        registry.inc("icache.evictions")
+        registry.inc("icache.evictions", 4)
+        assert registry.counter("icache.evictions") == 5
+
+    def test_counters_are_independent(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("b", 2)
+        assert registry.counter("a") == 1
+        assert registry.counter("b") == 2
+
+    def test_gauge_keeps_latest_value(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("saturation") is None
+        registry.set_gauge("saturation", 0.25)
+        registry.set_gauge("saturation", 0.75)
+        assert registry.gauge("saturation") == 0.75
+
+    def test_histogram_observations(self):
+        registry = MetricsRegistry()
+        for value in (1, 2, 100):
+            registry.observe("latency", value, bounds=(2, 10))
+        histogram = registry.histogram("latency")
+        assert histogram.count == 3
+        assert histogram.counts == [2, 0, 1]  # <=2, <=10, overflow
+        assert histogram.min == 1 and histogram.max == 100
+        assert histogram.mean == pytest.approx(103 / 3)
+
+    def test_histogram_bounds_fixed_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1, bounds=(5,))
+        registry.observe("h", 100, bounds=(1000,))  # ignored: bounds stick
+        assert registry.histogram("h").bounds == (5,)
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 3)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.inc("some.counter", 7)
+        registry.set_gauge("some.gauge", 0.5)
+        text = registry.render()
+        assert "some.counter = 7" in text
+        assert "some.gauge" in text
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper(self):
+        histogram = Histogram(bounds=(10, 20))
+        histogram.observe(10)  # lands in the <=10 bucket
+        histogram.observe(11)  # lands in the <=20 bucket
+        histogram.observe(21)  # overflow
+        assert histogram.counts == [1, 1, 1]
+
+    def test_requires_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestSpanTracker:
+    def test_nesting_builds_a_tree(self):
+        tracker = SpanTracker()
+        with tracker.span("outer"):
+            with tracker.span("inner-1"):
+                pass
+            with tracker.span("inner-2"):
+                pass
+        assert [root.name for root in tracker.roots] == ["outer"]
+        outer = tracker.roots[0]
+        assert [child.name for child in outer.children] == ["inner-1", "inner-2"]
+        assert outer.elapsed is not None and outer.elapsed >= 0
+        assert tracker.depth == 0
+
+    def test_explicit_start_finish(self):
+        tracker = SpanTracker()
+        span = tracker.start("warm-up")
+        tracker.finish(span)
+        second = tracker.start("measured")
+        tracker.finish(second)
+        assert [root.name for root in tracker.roots] == ["warm-up", "measured"]
+
+    def test_finish_closes_dangling_children(self):
+        tracker = SpanTracker()
+        outer = tracker.start("outer")
+        tracker.start("dangling")
+        tracker.finish(outer)  # closes both
+        assert tracker.depth == 0
+        assert tracker.roots[0].children[0].elapsed is not None
+
+    def test_finish_unknown_span_raises(self):
+        tracker = SpanTracker()
+        span = tracker.start("a")
+        tracker.finish(span)
+        with pytest.raises(ValueError):
+            tracker.finish(span)
+
+    def test_tree_and_render(self):
+        tracker = SpanTracker()
+        with tracker.span("simulate"):
+            with tracker.span("warm-up"):
+                pass
+        tree = tracker.tree()
+        assert tree[0]["name"] == "simulate"
+        assert tree[0]["children"][0]["name"] == "warm-up"
+        assert "warm-up" in tracker.render()
+
+
+class TestEventTracer:
+    def test_writes_jsonl_with_sequence_numbers(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink)
+        tracer.emit("eviction", {"set": 3, "way": 1})
+        tracer.emit("bypass", {"pc": 64})
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert lines[0] == {"seq": 1, "kind": "eviction", "set": 3, "way": 1}
+        assert lines[1]["seq"] == 2
+        assert tracer.written == 2 and tracer.dropped == 0
+
+    def test_counts_are_exact_even_when_sampling(self):
+        tracer = EventTracer(io.StringIO(), sample_rate=0.1, seed=42)
+        for _ in range(500):
+            tracer.emit("eviction", {})
+        assert tracer.counts["eviction"] == 500
+        assert tracer.written + tracer.dropped == 500
+        assert 0 < tracer.written < 500  # sampling kept some, not all
+
+    def test_sampling_is_deterministic_under_a_fixed_seed(self):
+        def kept_seqs(seed):
+            sink = io.StringIO()
+            tracer = EventTracer(sink, sample_rate=0.3, seed=seed)
+            for i in range(200):
+                tracer.emit("eviction", {"i": i})
+            return [json.loads(line)["seq"] for line in sink.getvalue().splitlines()]
+
+        assert kept_seqs(7) == kept_seqs(7)
+        assert kept_seqs(7) != kept_seqs(8)
+
+    def test_max_events_caps_written_records(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink, max_events=3)
+        for _ in range(10):
+            tracer.emit("eviction", {})
+        assert tracer.written == 3
+        assert tracer.dropped == 7
+        assert len(sink.getvalue().splitlines()) == 3
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer(io.StringIO(), sample_rate=1.5)
+
+    def test_open_read_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventTracer.open(path) as tracer:
+            tracer.emit("eviction", {"set": 1})
+            tracer.emit("bypass", {"set": 2})
+        events = list(read_events(path))
+        assert [event["kind"] for event in events] == ["eviction", "bypass"]
+        assert [event["kind"] for event in read_events(path, "bypass")] == ["bypass"]
+
+    def test_summary(self):
+        tracer = EventTracer(io.StringIO())
+        tracer.emit("a", {})
+        tracer.emit("a", {})
+        tracer.emit("b", {})
+        summary = tracer.summary()
+        assert summary["by_kind"] == {"a": 2, "b": 1}
+        assert summary["emitted"] == 3 and summary["written"] == 3
+
+
+class TestObservabilityFacade:
+    def test_null_obs_is_disabled_and_inert(self):
+        assert NULL_OBS.enabled is False
+        NULL_OBS.inc("anything")
+        NULL_OBS.set_gauge("g", 1.0)
+        NULL_OBS.observe("h", 1.0)
+        NULL_OBS.event("eviction", set=1)
+        with NULL_OBS.span("phase"):
+            pass
+        NULL_OBS.finish_span(NULL_OBS.start_span("phase"))
+        assert len(NULL_OBS.metrics) == 0
+        assert NULL_OBS.spans.tree() == []
+
+    def test_enabled_facade_routes_to_components(self):
+        tracer = EventTracer(io.StringIO())
+        obs = Observability(tracer=tracer)
+        obs.inc("c", 2)
+        obs.set_gauge("g", 0.5)
+        obs.event("eviction", set=1)
+        with obs.span("simulate"):
+            pass
+        assert obs.metrics.counter("c") == 2
+        assert tracer.counts == {"eviction": 1}
+        assert obs.spans.tree()[0]["name"] == "simulate"
+
+    def test_event_without_tracer_is_dropped(self):
+        obs = Observability()
+        obs.event("eviction", set=1)  # no tracer attached: no error
+        assert "events" not in obs.summary()
+
+    def test_summary_and_render(self):
+        obs = Observability(tracer=EventTracer(io.StringIO()))
+        obs.inc("icache.evictions")
+        obs.event("eviction", set=1)
+        with obs.span("simulate"):
+            pass
+        summary = obs.summary()
+        assert summary["metrics"]["counters"] == {"icache.evictions": 1}
+        assert summary["events"]["by_kind"] == {"eviction": 1}
+        rendered = obs.render()
+        assert "icache.evictions" in rendered
+        assert "simulate" in rendered
+        assert "eviction=1" in rendered

@@ -1,0 +1,224 @@
+"""Integration tests: observability wired through the simulation stack.
+
+The contract under test is the tentpole's core promise — with
+observability off (the default) results are bit-identical to an
+uninstrumented run, and with it on, the run yields a structured event
+trace, a populated metrics registry, and a per-phase timing tree without
+changing any simulation outcome.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import CellResult, GridResult, run_cell
+from repro.frontend.config import FrontEndConfig
+from repro.obs import EventTracer, GridProgressReporter, Observability, read_events
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("obs-wl", Category.SHORT_MOBILE, seed=3, trace_scale=0.04)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FrontEndConfig(icache_bytes=8 * 1024, wrong_path_depth=4)
+
+
+class TestResultsUnchanged:
+    @pytest.mark.parametrize("policy", ["ghrp", "lru", "sdbp"])
+    def test_mpki_identical_with_observability_on_vs_off(self, workload, config, policy):
+        baseline = run_cell(workload, policy, config)
+        obs = Observability(tracer=EventTracer(io.StringIO(), sample_rate=0.5, seed=1))
+        instrumented = run_cell(workload, policy, config, obs=obs)
+        for field in (
+            "icache_mpki", "btb_mpki", "icache_misses", "btb_misses",
+            "instructions", "branches", "direction_accuracy",
+            "dead_evictions", "bypasses",
+        ):
+            assert getattr(baseline, field) == getattr(instrumented, field), field
+
+    def test_registry_counters_match_cache_stats(self, workload, config):
+        obs = Observability()
+        cell = run_cell(workload, "ghrp", config, obs=obs)
+        # The metrics registry double-counts nothing: its totals agree
+        # with the engine's own CacheStats (whole-run, pre-warm-up split).
+        assert obs.metrics.counter("icache.bypasses") == cell.bypasses
+        assert obs.metrics.counter("icache.dead_evictions") == cell.dead_evictions
+        hits = obs.metrics.counter("icache.hits")
+        misses = obs.metrics.counter("icache.misses")
+        assert hits > 0 and misses > 0
+
+
+class TestTraceEvents:
+    def test_trace_contains_the_documented_event_kinds(self, workload, config, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventTracer.open(path) as tracer:
+            run_cell(workload, "ghrp", config, obs=Observability(tracer=tracer))
+        kinds = {event["kind"] for event in read_events(path)}
+        assert {"eviction", "bypass", "wrong_path_enter", "wrong_path_exit",
+                "history_recovery", "warmup_complete", "table_saturation"} <= kinds
+
+    def test_ghrp_eviction_events_carry_victim_telemetry(self, workload, config, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventTracer.open(path) as tracer:
+            run_cell(workload, "ghrp", config, obs=Observability(tracer=tracer))
+        eviction = next(
+            e for e in read_events(path, "eviction") if e["structure"] == "icache"
+        )
+        assert eviction["victim_address"] >= 0
+        assert "signature" in eviction
+        assert "predicted_dead_vote" in eviction
+        assert 0 <= eviction["lru_position"] < config.icache_assoc
+
+    def test_span_tree_has_the_documented_phases(self, workload, config):
+        obs = Observability()
+        run_cell(workload, "lru", config, obs=obs)
+        tree = obs.spans.tree()
+        cell = tree[0]
+        assert cell["name"].startswith("cell:lru/")
+        phases = [child["name"] for child in cell["children"]]
+        assert phases == ["setup", "simulate", "collect"]
+        simulate = cell["children"][1]
+        sub = [child["name"] for child in simulate["children"]]
+        assert sub == ["warm-up", "measured", "stats-collect"]
+        assert all(child["seconds"] is not None for child in simulate["children"])
+
+
+class TestRunnerSatellites:
+    def test_grid_cell_lookup_uses_the_index(self):
+        grid = GridResult()
+        template = dict(
+            icache_mpki=1.0, btb_mpki=0.5, icache_misses=10, btb_misses=5,
+            instructions=1000, branches=100, direction_accuracy=0.9,
+            dead_evictions=1, bypasses=0, elapsed_seconds=0.1,
+        )
+        first = CellResult(policy="lru", workload="w", **template)
+        duplicate = CellResult(policy="lru", workload="w",
+                               **{**template, "icache_mpki": 9.9})
+        grid.add(first)
+        grid.add(duplicate)
+        grid.add(CellResult(policy="ghrp", workload="w", **template))
+        # First-added wins on duplicates, matching the old linear scan.
+        assert grid.cell("lru", "w") is first
+        assert grid.cell("ghrp", "w").policy == "ghrp"
+        with pytest.raises(KeyError):
+            grid.cell("lru", "nope")
+
+    def test_grid_constructed_from_cells_is_indexed(self):
+        cell = CellResult(
+            policy="lru", workload="w", icache_mpki=1.0, btb_mpki=0.5,
+            icache_misses=10, btb_misses=5, instructions=1000, branches=100,
+            direction_accuracy=0.9, dead_evictions=1, bypasses=0,
+            elapsed_seconds=0.1,
+        )
+        assert GridResult(cells=[cell]).cell("lru", "w") is cell
+
+    def test_run_cell_reports_setup_and_simulate_separately(self, workload, config):
+        cell = run_cell(workload, "lru", config)
+        assert cell.setup_seconds > 0
+        assert cell.simulate_seconds > 0
+        assert cell.elapsed_seconds == pytest.approx(
+            cell.setup_seconds + cell.simulate_seconds
+        )
+
+    def test_old_store_records_without_split_still_load(self):
+        # Result stores written before the timing split lack the new keys.
+        raw = dict(
+            policy="lru", workload="w", icache_mpki=1.0, btb_mpki=0.5,
+            icache_misses=10, btb_misses=5, instructions=1000, branches=100,
+            direction_accuracy=0.9, dead_evictions=1, bypasses=0,
+            elapsed_seconds=0.1,
+        )
+        cell = CellResult(**raw)
+        assert cell.setup_seconds == 0.0
+        assert cell.simulate_seconds == 0.0
+
+
+class TestProgressReporter:
+    def test_logs_throughput_and_eta(self, caplog):
+        reporter = GridProgressReporter(total_cells=2)
+        cell = CellResult(
+            policy="lru", workload="w", icache_mpki=1.0, btb_mpki=0.5,
+            icache_misses=10, btb_misses=5, instructions=100_000, branches=100,
+            direction_accuracy=0.9, dead_evictions=1, bypasses=0,
+            elapsed_seconds=0.5, setup_seconds=0.1, simulate_seconds=0.4,
+        )
+        with caplog.at_level(logging.INFO, logger="repro.progress"):
+            reporter(cell)
+        assert reporter.done == 1
+        message = caplog.records[-1].getMessage()
+        assert "1/2" in message
+        assert "instr/s" in message
+        assert "ETA" in message
+
+
+class TestTraceCLI:
+    def test_trace_subcommand_writes_events_and_metrics(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "trace",
+                "--policy", "ghrp",
+                "--category", "short_server",  # underscore spelling accepted
+                "--trace-scale", "0.03",
+                "--icache-kb", "8",
+                "--out", str(events_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "icache_mpki" in out
+        assert "wrote" in out
+
+        kinds = {event["kind"] for event in read_events(events_path)}
+        assert {"eviction", "bypass", "wrong_path_enter"} <= kinds
+
+        summary = json.loads(metrics_path.read_text())
+        assert summary["metrics"]["counters"]["icache.evictions"] > 0
+        assert summary["events"]["by_kind"]["eviction"] > 0
+        assert summary["spans"]  # the per-phase timing tree
+
+    def test_trace_sampling_flags(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "trace",
+                "--policy", "lru",
+                "--category", "short-mobile",
+                "--trace-scale", "0.03",
+                "--icache-kb", "8",
+                "--sample-rate", "0.1",
+                "--trace-seed", "5",
+                "--max-events", "50",
+                "--out", str(events_path),
+            ]
+        )
+        assert code == 0
+        events = list(read_events(events_path))
+        assert 0 < len(events) <= 50
+
+    def test_metrics_out_on_simulate(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--category", "short-mobile",
+                "--trace-scale", "0.03",
+                "--policy", "lru",
+                "--icache-kb", "8",
+                "--warmup", "1000",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(metrics_path.read_text())
+        assert summary["metrics"]["counters"]["icache.misses"] > 0
