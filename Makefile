@@ -2,7 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint bench bench-quick examples figures clean
+.PHONY: install test test-fast test-fault lint bench bench-quick examples figures clean
+
+# The fault-injection / robustness suite: supervised grid executor,
+# deterministic fault harness, store durability, corrupted-input guards.
+# pytest-timeout (when installed, as in CI) backstops a regressed hang.
+FAULT_TESTS = tests/test_faults.py tests/test_supervisor.py \
+              tests/test_store_durability.py tests/test_failure_injection.py
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +26,14 @@ lint:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py
+
+test-fault:
+	@if $(PYTHON) -c "import pytest_timeout" 2>/dev/null; then \
+		$(PYTHON) -m pytest $(FAULT_TESTS) -q --timeout=300; \
+	else \
+		echo "pytest-timeout not installed; running without a hang backstop"; \
+		$(PYTHON) -m pytest $(FAULT_TESTS) -q; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

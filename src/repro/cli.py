@@ -12,6 +12,9 @@ Subcommands:
 - ``storage``   — print Table I (GHRP and modified-SDBP storage);
 - ``report``    — run a suite grid (with result caching) and write a
   markdown report;
+- ``grid``      — run a suite grid under the fault-tolerant supervised
+  executor: parallel workers, per-cell timeouts, retries with backoff,
+  and checkpoint-resume (``--resume STORE``); exits 2 on a partial grid;
 - ``trace``     — run one workload with full observability: a structured
   event JSONL (evictions, bypasses, wrong-path episodes, ...) plus a
   metrics and per-phase timing summary;
@@ -228,6 +231,93 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault(value: str):
+    """Parse ``POLICY/WORKLOAD=MODE[:N]`` into plan components.
+
+    ``N`` bounds the fault to the first N attempts; omitted means every
+    attempt.  Example: ``lru/short-server-00=raise:2`` fails that cell's
+    first two attempts, then lets it succeed.
+    """
+    from repro.experiments.faults import ALWAYS, FAULT_MODES, FaultSpec
+
+    try:
+        cell, _, fault = value.partition("=")
+        policy, workload = cell.split("/", 1)
+        mode, _, count = fault.partition(":")
+        spec = FaultSpec(mode, int(count) if count else ALWAYS)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected POLICY/WORKLOAD=MODE[:N] with MODE in {FAULT_MODES}, "
+            f"got {value!r} ({error})"
+        ) from None
+    return policy, workload, spec
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.experiments.report_markdown import markdown_report
+    from repro.experiments.store import ResultStore
+    from repro.experiments.supervisor import (
+        RetryPolicy,
+        SupervisorConfig,
+        run_grid_supervised,
+    )
+
+    suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
+    if args.limit is not None:
+        suite = suite[: args.limit]
+    config = _config_from(args, "lru")
+    store = ResultStore(args.resume, recover=True) if args.resume else None
+    fault_plan = None
+    if args.inject_fault:
+        from repro.experiments.faults import FaultPlan
+
+        fault_plan = FaultPlan()
+        for policy, workload, spec in args.inject_fault:
+            fault_plan.add(policy, workload, spec)
+    supervisor = SupervisorConfig(
+        workers=args.workers,
+        cell_timeout_seconds=args.cell_timeout,
+        retry=RetryPolicy(
+            max_retries=args.retries,
+            backoff_base_seconds=args.backoff_base,
+        ),
+        checkpoint_every=args.checkpoint_every,
+        start_method=args.start_method,
+    )
+    obs = _obs_from(args)
+    progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
+    grid = run_grid_supervised(
+        suite,
+        list(args.policies),
+        config,
+        supervisor=supervisor,
+        store=store,
+        fault_plan=fault_plan,
+        progress=progress,
+        obs=obs,
+    )
+    print(figures.headline_numbers(
+        grid, policies=tuple(grid.icache.policies)
+    ).render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(markdown_report(
+                grid, title=f"GHRP reproduction report (seed {args.seed})"
+            ))
+        print(f"wrote report to {args.report}")
+    if store is not None:
+        print(f"{len(store)} cells checkpointed in {args.resume}")
+    _write_metrics(args, obs)
+    if grid.failed:
+        print(f"\nWARNING: partial grid — {len(grid.failed)} cell(s) failed:")
+        for failure in grid.failed:
+            print(f"  {failure.summary_line()}")
+        if args.resume:
+            print(f"re-run with --resume {args.resume} to retry only these cells")
+        return 2
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one cell fully instrumented; write event JSONL + summary."""
     config = _config_from(args, args.policy).with_overrides(
@@ -330,6 +420,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="report.md")
     _add_config_arguments(report)
     report.set_defaults(func=_cmd_report)
+
+    grid = add_subcommand(
+        "grid", "run a suite grid under the fault-tolerant supervised executor"
+    )
+    grid.add_argument("--seed", type=int, default=2018)
+    grid.add_argument("--trace-scale", type=float, default=1.0)
+    grid.add_argument("--limit", type=int, default=None,
+                      help="run only the first N suite workloads (smoke runs)")
+    grid.add_argument("--policies", nargs="+", default=list(figures.PAPER_POLICIES),
+                      choices=available_policies())
+    grid.add_argument("--workers", type=int, default=1,
+                      help="parallel worker processes (default: 1)")
+    grid.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                      help="kill any cell running longer than S seconds")
+    grid.add_argument("--retries", type=int, default=2, metavar="K",
+                      help="retry each failed cell up to K times (default: 2)")
+    grid.add_argument("--backoff-base", type=float, default=0.5, metavar="S",
+                      help="first-retry backoff in seconds, doubling per attempt")
+    grid.add_argument("--resume", metavar="STORE", default=None,
+                      help="checkpoint results to this store and skip cells "
+                           "already in it; corrupted stores are quarantined "
+                           "to STORE.corrupt")
+    grid.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                      help="save the store after every N completed cells")
+    grid.add_argument("--report", default=None,
+                      help="also write a markdown report to this path")
+    grid.add_argument("--start-method", default="spawn",
+                      choices=["spawn", "fork", "forkserver"],
+                      help="multiprocessing start method (spawn is safe "
+                           "everywhere; fork starts workers faster on POSIX)")
+    grid.add_argument("--inject-fault", type=_parse_fault, action="append",
+                      default=[], metavar="POLICY/WORKLOAD=MODE[:N]",
+                      help="deterministically fault a cell (raise|hang|crash|"
+                           "garbage) on its first N attempts; repeatable "
+                           "(for demos and harness testing)")
+    _add_config_arguments(grid)
+    grid.set_defaults(func=_cmd_grid)
 
     trace = add_subcommand(
         "trace", "run one workload fully instrumented; write an event JSONL"

@@ -5,30 +5,51 @@ paper's evaluation and renders them as terminal-friendly reports:
 
 - :mod:`repro.experiments.runner`: grid execution with the paper's
   warm-up rule and per-cell result capture;
+- :mod:`repro.experiments.supervisor`: the fault-tolerant parallel grid
+  executor (worker pool, timeouts, retries, checkpoint-resume);
+- :mod:`repro.experiments.faults`: deterministic fault injection for
+  exercising the supervisor's recovery paths;
 - :mod:`repro.experiments.figures`: one generator per paper artifact
   (fig1..fig11, table1, the headline numbers);
 - :mod:`repro.experiments.report`: shared text-rendering helpers.
 """
 
+from repro.experiments.faults import FaultInjected, FaultPlan, FaultSpec
 from repro.experiments.runner import (
     CellResult,
+    FailedCell,
     GridResult,
     run_cell,
     run_grid,
     run_workload,
+    validate_cell,
 )
-from repro.experiments.store import ResultStore, run_grid_cached
+from repro.experiments.store import ResultStore, ResultStoreError, run_grid_cached
+from repro.experiments.supervisor import (
+    RetryPolicy,
+    SupervisorConfig,
+    run_grid_supervised,
+)
 from repro.experiments.tuning import TuningResult, sweep_ghrp
 from repro.experiments import figures
 
 __all__ = [
     "CellResult",
+    "FailedCell",
     "GridResult",
     "run_cell",
     "run_grid",
     "run_workload",
+    "validate_cell",
     "ResultStore",
+    "ResultStoreError",
     "run_grid_cached",
+    "RetryPolicy",
+    "SupervisorConfig",
+    "run_grid_supervised",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "TuningResult",
     "sweep_ghrp",
     "figures",

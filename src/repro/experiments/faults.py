@@ -1,0 +1,121 @@
+"""Deterministic fault injection for the supervised grid executor.
+
+Testing a fault-tolerant executor with real faults (random crashes,
+actual wall-clock hangs racing a timeout) produces flaky tests.  This
+module instead injects *chosen* faults into *chosen* cells on *chosen*
+attempts: a :class:`FaultPlan` maps (policy, workload) keys to a
+:class:`FaultSpec`, is pickled into the worker processes alongside each
+task, and fires deterministically — the Nth attempt of a given cell
+always behaves the same way.
+
+Modes:
+
+- ``"raise"``   — the worker raises :class:`FaultInjected` before
+  simulating (exercises the retry path);
+- ``"hang"``    — the worker blocks forever on an event that never
+  fires (exercises the per-cell timeout kill);
+- ``"crash"``   — the worker process exits immediately via
+  ``os._exit`` without reporting (exercises crash isolation and pool
+  replenishment, standing in for a segfault or OOM kill);
+- ``"garbage"`` — the worker simulates normally but returns a
+  malformed result (exercises result validation).
+
+``fail_attempts`` bounds the fault to the first N attempts (0-based
+attempt index < N faults); ``ALWAYS`` faults every attempt, producing a
+terminal :class:`~repro.experiments.runner.FailedCell`.
+
+The plan is inert outside the supervisor: serial ``run_grid`` never
+consults it, and an empty plan injects nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Event
+
+__all__ = ["ALWAYS", "FAULT_MODES", "FaultInjected", "FaultSpec", "FaultPlan"]
+
+ALWAYS = -1
+"""Sentinel for ``fail_attempts``: fault on every attempt."""
+
+FAULT_MODES = ("raise", "hang", "crash", "garbage")
+
+
+class FaultInjected(RuntimeError):
+    """The error raised inside a worker by a ``"raise"``-mode fault."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """How one cell misbehaves, and on which attempts.
+
+    ``fail_attempts=N`` faults attempts ``0..N-1`` and lets attempt ``N``
+    run cleanly ("fail twice, then succeed" is ``fail_attempts=2``);
+    :data:`ALWAYS` faults every attempt.
+    """
+
+    mode: str
+    fail_attempts: int = ALWAYS
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {FAULT_MODES}"
+            )
+        if self.fail_attempts < ALWAYS:
+            raise ValueError("fail_attempts must be >= 0, or ALWAYS (-1)")
+
+    def triggers(self, attempt: int) -> bool:
+        """Does this fault fire on 0-based ``attempt``?"""
+        return self.fail_attempts == ALWAYS or attempt < self.fail_attempts
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by cell.
+
+    Picklable by construction (plain data), so the supervisor can ship
+    it to worker processes with each task.
+    """
+
+    faults: dict[tuple[str, str], FaultSpec] = field(default_factory=dict)
+
+    def add(self, policy: str, workload: str, spec: FaultSpec) -> "FaultPlan":
+        self.faults[(policy, workload)] = spec
+        return self
+
+    def spec_for(self, policy: str, workload: str) -> FaultSpec | None:
+        return self.faults.get((policy, workload))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- worker-side hooks ----------------------------------------------
+    def before_cell(self, policy: str, workload: str, attempt: int) -> None:
+        """Fire a pre-simulation fault, if one is scheduled.
+
+        Called inside the worker process.  ``"raise"`` raises,
+        ``"hang"`` never returns, ``"crash"`` kills the process; the
+        other modes (and non-faulted cells/attempts) fall through.
+        """
+        spec = self.spec_for(policy, workload)
+        if spec is None or not spec.triggers(attempt):
+            return
+        if spec.mode == "raise":
+            raise FaultInjected(
+                f"injected failure for {policy}/{workload} attempt {attempt}"
+            )
+        if spec.mode == "hang":
+            Event().wait()  # pragma: no cover - killed by the supervisor
+        if spec.mode == "crash":
+            import os
+
+            os._exit(13)  # pragma: no cover - dies before coverage flushes
+
+    def mangle_result(self, policy: str, workload: str, attempt: int, cell):
+        """Corrupt a finished cell result for ``"garbage"``-mode faults."""
+        spec = self.spec_for(policy, workload)
+        if spec is None or spec.mode != "garbage" or not spec.triggers(attempt):
+            return cell
+        return {"garbage": True, "policy": policy, "workload": workload,
+                "attempt": attempt}

@@ -55,14 +55,49 @@ def _per_workload_section(table: MPKITable, title: str) -> str:
     return f"### {title}\n\n" + _markdown_table(["workload"] + list(policies), rows)
 
 
+def _failed_cells_section(grid: GridResult) -> str:
+    """Annotate the gaps of a partial grid (supervised runs only)."""
+    rows = [
+        [
+            failure.policy,
+            failure.workload,
+            failure.kind,
+            f"`{failure.error_type}`",
+            str(failure.attempts),
+            f"{failure.elapsed_seconds:.1f}s",
+        ]
+        for failure in grid.failed
+    ]
+    note = (
+        "The cells below exhausted their retries and are **missing** from "
+        "every table above; means and win/loss counts cover the surviving "
+        "grid only. Re-run with `repro-sim grid --resume <store>` to "
+        "recompute just these cells."
+    )
+    return "### Failed cells\n\n" + note + "\n\n" + _markdown_table(
+        ["policy", "workload", "kind", "error", "attempts", "elapsed"], rows
+    )
+
+
 def markdown_report(grid: GridResult, title: str = "Replacement-policy study") -> str:
-    """Render a full markdown report for a simulation grid."""
+    """Render a full markdown report for a simulation grid.
+
+    A partial grid (one with :class:`FailedCell` entries from the
+    supervised executor) renders normally from the surviving cells, with
+    a trailing section annotating the gaps.
+    """
     icache = grid.icache
     btb = grid.btb
     sections = [f"# {title}", ""]
-    sections.append(
+    grid_line = (
         f"Grid: {len(icache.workloads)} workloads x {len(icache.policies)} policies."
     )
+    if grid.failed:
+        grid_line += (
+            f" **Partial result: {len(grid.failed)} cell(s) failed** "
+            f"(see [Failed cells](#failed-cells))."
+        )
+    sections.append(grid_line)
     sections.append("")
     sections.append(_means_section(icache, "I-cache mean MPKI"))
     sections.append("")
@@ -115,4 +150,7 @@ def markdown_report(grid: GridResult, title: str = "Replacement-policy study") -
     sections.append("")
     sections.append(_per_workload_section(btb, "Per-workload BTB MPKI"))
     sections.append("")
+    if grid.failed:
+        sections.append(_failed_cells_section(grid))
+        sections.append("")
     return "\n".join(sections)

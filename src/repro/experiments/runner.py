@@ -16,17 +16,28 @@ uninstrumented run.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import build_frontend
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, get_logger
 from repro.stats.mpki import MPKITable
 from repro.workloads.suite import Workload
 
-__all__ = ["CellResult", "GridResult", "run_cell", "run_workload", "run_grid"]
+__all__ = [
+    "CellResult",
+    "FailedCell",
+    "GridResult",
+    "run_cell",
+    "run_workload",
+    "run_grid",
+    "validate_cell",
+]
+
+_LOG = get_logger("experiments.runner")
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,27 +67,129 @@ class CellResult:
     simulate_seconds: float = 0.0
 
 
+_CELL_INT_FIELDS = frozenset(
+    {"icache_misses", "btb_misses", "instructions", "branches",
+     "dead_evictions", "bypasses"}
+)
+_CELL_FLOAT_FIELDS = frozenset(
+    {"icache_mpki", "btb_mpki", "direction_accuracy",
+     "elapsed_seconds", "setup_seconds", "simulate_seconds"}
+)
+
+
+def validate_cell(
+    cell: object, policy: str | None = None, workload: str | None = None
+) -> str | None:
+    """Schema-check one cell result; return a problem description or None.
+
+    Shared by the result store (refuse to persist garbage) and the
+    supervised executor (a worker returning a malformed result is treated
+    as a failed attempt, not silently recorded).  ``policy``/``workload``
+    additionally pin the cell to the task that produced it.
+    """
+    if not isinstance(cell, CellResult):
+        return f"not a CellResult (got {type(cell).__name__})"
+    if not isinstance(cell.policy, str) or not isinstance(cell.workload, str):
+        return "policy/workload are not strings"
+    if policy is not None and cell.policy != policy:
+        return f"policy mismatch (expected {policy!r}, got {cell.policy!r})"
+    if workload is not None and cell.workload != workload:
+        return f"workload mismatch (expected {workload!r}, got {cell.workload!r})"
+    for name in _CELL_INT_FIELDS:
+        value = getattr(cell, name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            return f"field {name}={value!r} is not a non-negative int"
+    for name in _CELL_FLOAT_FIELDS:
+        value = getattr(cell, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            return f"field {name}={value!r} is not a finite number"
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class FailedCell:
+    """A (policy, workload) cell that could not produce a result.
+
+    Produced by the supervised grid executor when a cell exhausts its
+    retries; carried alongside the successful cells so reports and
+    figures can render a partial grid with annotated gaps instead of
+    pretending the cell never existed.
+
+    ``kind`` classifies the terminal failure: ``"error"`` (the worker
+    raised), ``"timeout"`` (killed at the per-cell deadline),
+    ``"crash"`` (the worker process died without reporting — segfault,
+    OOM kill, ``os._exit``), or ``"garbage"`` (the worker returned
+    something that failed result validation).
+    """
+
+    policy: str
+    workload: str
+    kind: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_seconds: float
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.policy}/{self.workload}: {self.kind} "
+            f"({self.error_type}: {self.message}) after {self.attempts} attempt(s), "
+            f"{self.elapsed_seconds:.1f}s"
+        )
+
+
 @dataclass(slots=True)
 class GridResult:
     """All cells of a grid, with MPKI table views.
 
     Lookups go through a (policy, workload) index maintained by
-    :meth:`add`; on duplicate keys the first cell wins, matching the old
-    linear scan.
+    :meth:`add`; duplicate keys keep the first cell and log a warning
+    (a duplicate usually means a suite built two workloads with the
+    same name, which would silently shadow results otherwise).
+
+    ``failed`` carries the cells that exhausted their retries under the
+    supervised executor; a plain serial ``run_grid`` never adds any.
     """
 
     cells: list[CellResult] = field(default_factory=list)
+    failed: list[FailedCell] = field(default_factory=list)
     _index: dict[tuple[str, str], CellResult] = field(
         default_factory=dict, init=False, repr=False
     )
 
     def __post_init__(self) -> None:
+        deduped: list[CellResult] = []
         for cell in self.cells:
-            self._index.setdefault((cell.policy, cell.workload), cell)
+            if self._note_duplicate(cell):
+                continue
+            self._index[(cell.policy, cell.workload)] = cell
+            deduped.append(cell)
+        self.cells = deduped
+
+    def _note_duplicate(self, cell: CellResult) -> bool:
+        existing = self._index.get((cell.policy, cell.workload))
+        if existing is None:
+            return False
+        _LOG.warning(
+            "duplicate grid cell (%s, %s): keeping the first result, "
+            "dropping the duplicate", cell.policy, cell.workload,
+        )
+        return True
 
     def add(self, cell: CellResult) -> None:
+        if self._note_duplicate(cell):
+            return
         self.cells.append(cell)
-        self._index.setdefault((cell.policy, cell.workload), cell)
+        self._index[(cell.policy, cell.workload)] = cell
+
+    def add_failure(self, failure: FailedCell) -> None:
+        self.failed.append(failure)
+
+    @property
+    def complete(self) -> bool:
+        """True when no cell of the grid ended as a failure."""
+        return not self.failed
 
     @property
     def icache(self) -> MPKITable:

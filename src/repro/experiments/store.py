@@ -9,23 +9,61 @@ configuration), so a grid can be resumed or extended incrementally.
 The fingerprint covers everything that affects the simulation:
 the workload's spec + seed (the trace is a pure function of those) and
 the FrontEndConfig dataclass fields.  Any change invalidates the key.
+
+Durability (see docs/robustness.md):
+
+- saves are atomic (write to ``<path>.tmp``, then ``os.replace``) and
+  checksummed — the on-disk format is ``{"version": 2, "checksum":
+  sha256(records), "records": {...}}``; legacy plain-record files load
+  transparently and are upgraded on the next save;
+- a corrupted or truncated store never raises a raw
+  ``json.JSONDecodeError``: the bad file is preserved (copied, or moved
+  aside in ``recover=True`` mode) to ``<path>.corrupt`` and loading
+  either raises an actionable :class:`ResultStoreError` or — with
+  ``recover=True``, as the supervised grid executor uses — quarantines
+  the file and starts empty;
+- :meth:`ResultStore.get` tolerates schema evolution: unknown record
+  keys are ignored and missing optional fields take their dataclass
+  defaults, so a store written by a newer or older version loads as a
+  partial cache instead of raising ``TypeError``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
+import shutil
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.experiments.runner import CellResult, GridResult, run_cell
+from repro.experiments.runner import CellResult, GridResult, run_cell, validate_cell
 from repro.frontend.config import FrontEndConfig
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, get_logger
 from repro.util.hashing import mix64
 from repro.workloads.suite import Workload
 
-__all__ = ["ResultStore", "run_grid_cached"]
+__all__ = ["ResultStore", "ResultStoreError", "run_grid_cached"]
+
+_LOG = get_logger("experiments.store")
+
+STORE_FORMAT_VERSION = 2
+
+_CELL_FIELDS = {field.name: field for field in dataclasses.fields(CellResult)}
+_CELL_REQUIRED = frozenset(
+    name for name, field in _CELL_FIELDS.items()
+    if field.default is dataclasses.MISSING
+    and field.default_factory is dataclasses.MISSING
+)
+
+
+class ResultStoreError(RuntimeError):
+    """A result-store file could not be loaded or written.
+
+    The message always names the offending path and a remedy; corrupted
+    files are preserved at ``<path>.corrupt`` before this is raised.
+    """
 
 
 def _stable_fingerprint(payload: str) -> str:
@@ -55,27 +93,115 @@ def _workload_key(workload: Workload) -> str:
                       sort_keys=True, default=str)
 
 
-class ResultStore:
-    """JSON-backed cache of per-cell simulation results."""
+def _records_checksum(records: dict) -> str:
+    canonical = json.dumps(records, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
 
-    def __init__(self, path: str | Path):
+
+def _rehydrate(raw: object) -> CellResult | None:
+    """Build a CellResult from one stored record, tolerating schema drift.
+
+    Unknown keys (written by a newer version) are dropped; missing keys
+    with dataclass defaults (written by an older version) are defaulted.
+    A record missing a *required* field, or otherwise malformed, returns
+    None — the caller treats it as a cache miss and recomputes.
+    """
+    if not isinstance(raw, dict):
+        return None
+    known = {key: value for key, value in raw.items() if key in _CELL_FIELDS}
+    if not _CELL_REQUIRED <= known.keys():
+        return None
+    try:
+        cell = CellResult(**known)
+    except (TypeError, ValueError):
+        return None
+    return cell if validate_cell(cell) is None else None
+
+
+class ResultStore:
+    """JSON-backed cache of per-cell simulation results.
+
+    ``recover=True`` selects quarantine mode: a corrupted store file is
+    moved aside to ``<path>.corrupt`` with a logged warning and the store
+    starts empty, instead of raising.  The default (``recover=False``)
+    copies the bad file to ``<path>.corrupt`` and raises
+    :class:`ResultStoreError`, so nothing is lost even if a later
+    :meth:`save` overwrites the original.
+    """
+
+    def __init__(self, path: str | Path, *, recover: bool = False):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
         if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as handle:
-                self._records = json.load(handle)
+            self._records = self._load(recover=recover)
 
+    # -- loading --------------------------------------------------------
+    def _load(self, recover: bool) -> dict[str, dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            return self._corrupt(f"invalid JSON ({error})", recover)
+        except OSError as error:
+            raise ResultStoreError(
+                f"result store {self.path} could not be read ({error}); "
+                f"check permissions or pass a different --store path"
+            ) from error
+        if isinstance(raw, dict) and "version" in raw:
+            records = raw.get("records")
+            if not isinstance(records, dict):
+                return self._corrupt("missing or malformed 'records' object",
+                                     recover)
+            checksum = raw.get("checksum")
+            if checksum != _records_checksum(records):
+                return self._corrupt(
+                    "checksum mismatch (file was truncated or hand-edited)",
+                    recover,
+                )
+            return records
+        if isinstance(raw, dict):
+            return raw  # legacy version-1 file: bare record mapping
+        return self._corrupt("top-level JSON is not an object", recover)
+
+    def _corrupt(self, reason: str, recover: bool) -> dict[str, dict]:
+        backup = self._quarantine_path()
+        if recover:
+            shutil.move(self.path, backup)
+            _LOG.warning(
+                "result store %s is corrupted (%s); quarantined it to %s "
+                "and starting with an empty store", self.path, reason, backup,
+            )
+            return {}
+        shutil.copy2(self.path, backup)
+        raise ResultStoreError(
+            f"result store {self.path} is corrupted: {reason}. "
+            f"The file was backed up to {backup}; inspect or delete it, "
+            f"restore from a backup, or reopen with recover=True "
+            f"(repro-sim grid --resume does this) to quarantine it and "
+            f"start fresh."
+        )
+
+    def _quarantine_path(self) -> Path:
+        candidate = self.path.with_name(self.path.name + ".corrupt")
+        suffix = 0
+        while candidate.exists():
+            suffix += 1
+            candidate = self.path.with_name(f"{self.path.name}.corrupt.{suffix}")
+        return candidate
+
+    # -- keys -----------------------------------------------------------
     def key_for(self, workload: Workload, policy: str, config: FrontEndConfig) -> str:
         payload = _workload_key(workload) + "|" + policy + "|" + _config_key(config)
         return _stable_fingerprint(payload)
 
+    # -- record access --------------------------------------------------
     def get(
         self, workload: Workload, policy: str, config: FrontEndConfig
     ) -> CellResult | None:
         raw = self._records.get(self.key_for(workload, policy, config))
         if raw is None:
             return None
-        return CellResult(**raw)
+        return _rehydrate(raw)
 
     def put(
         self,
@@ -84,13 +210,30 @@ class ResultStore:
         config: FrontEndConfig,
         cell: CellResult,
     ) -> None:
+        problem = validate_cell(cell)
+        if problem is not None:
+            raise ResultStoreError(
+                f"refusing to record invalid cell result in {self.path}: "
+                f"{problem}"
+            )
         self._records[self.key_for(workload, policy, config)] = dataclasses.asdict(cell)
 
     def save(self) -> None:
+        """Atomically persist: write ``<path>.tmp``, then ``os.replace``.
+
+        A crash mid-save leaves the previous store intact (plus a stale
+        ``.tmp`` file the next save overwrites); a reader never observes
+        a half-written file.
+        """
         os.makedirs(self.path.parent, exist_ok=True)
         tmp_path = self.path.with_suffix(".tmp")
+        document = {
+            "version": STORE_FORMAT_VERSION,
+            "checksum": _records_checksum(self._records),
+            "records": self._records,
+        }
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(self._records, handle)
+            json.dump(document, handle)
         os.replace(tmp_path, self.path)
 
     def __len__(self) -> int:
@@ -110,6 +253,10 @@ def run_grid_cached(
     Cells already in the store are returned instantly; new cells are
     simulated, recorded, and persisted (the store is saved after every
     new cell, so an interrupted grid loses at most one simulation).
+
+    For fault tolerance on top of caching — worker isolation, per-cell
+    timeouts, retries — see
+    :func:`repro.experiments.supervisor.run_grid_supervised`.
     """
     grid = GridResult()
     for workload in workloads:

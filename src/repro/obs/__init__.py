@@ -125,6 +125,25 @@ class Observability:
         if span is not None:
             self.spans.finish(span)
 
+    # -- cross-process merge --------------------------------------------
+    def merge_child(self, summary: dict, label: str | None = None) -> None:
+        """Fold a child run's :meth:`summary` into this facade.
+
+        The supervised grid executor collects each worker process's
+        metrics snapshot and span tree over the result pipe and merges
+        them here, so retries, timeouts, and per-cell phase timings all
+        land in one parent readout.  No-op when disabled or when the
+        child had nothing to report.
+        """
+        if not self.enabled or not summary:
+            return
+        metrics = summary.get("metrics")
+        if metrics:
+            self.metrics.merge_snapshot(metrics)
+        spans = summary.get("spans")
+        if spans:
+            self.spans.graft(spans, under=label)
+
     # -- readout --------------------------------------------------------
     def summary(self) -> dict:
         """Everything collected, as plain dicts (``json.dump``-ready)."""

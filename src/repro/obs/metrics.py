@@ -56,6 +56,28 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. from a worker process) in.
+
+        Bucket counts are added positionally when the bounds match; a
+        snapshot with different bounds degrades gracefully by folding its
+        observations into the overflow bucket (sum/count/min/max stay
+        exact either way).
+        """
+        if tuple(data.get("bounds", ())) == self.bounds:
+            for i, count in enumerate(data.get("counts", ())):
+                self.counts[i] += count
+        else:
+            self.counts[-1] += data.get("count", 0)
+        self.count += data.get("count", 0)
+        self.total += data.get("sum", 0.0)
+        for extreme, better in (("min", min), ("max", max)):
+            value = data.get(extreme)
+            if value is not None:
+                current = getattr(self, extreme)
+                setattr(self, extreme,
+                        value if current is None else better(current, value))
+
     def to_dict(self) -> dict:
         return {
             "bounds": list(self.bounds),
@@ -112,6 +134,26 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Used by the supervised grid executor to merge per-worker metrics
+        back into the parent run: counters add, gauges take the incoming
+        value (last write wins), histograms merge via
+        :meth:`Histogram.merge_dict`.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    data.get("bounds") or DEFAULT_BUCKETS
+                )
+            histogram.merge_dict(data)
 
     def snapshot(self) -> dict:
         """A plain-dict view of every metric, ready for ``json.dump``."""

@@ -85,6 +85,32 @@ class SpanTracker:
         """The finished timing tree as plain dicts (``json.dump``-ready)."""
         return [root.to_dict() for root in self.roots]
 
+    def graft(self, tree: list[dict], under: str | None = None) -> None:
+        """Attach a finished :meth:`tree` from another tracker.
+
+        Used by the supervised grid executor to carry a worker process's
+        per-cell timing tree back into the parent run.  With ``under``,
+        the grafted roots are wrapped in a zero-cost labelled span (e.g.
+        ``worker:ghrp/short-server-00``) so provenance stays visible.
+        """
+
+        def revive(node: dict) -> Span:
+            span = Span(node["name"], 0.0)
+            span.elapsed = node.get("seconds")
+            span.children = [revive(child) for child in node.get("children", ())]
+            return span
+
+        revived = [revive(node) for node in tree]
+        if under is not None:
+            wrapper = Span(under, 0.0)
+            wrapper.elapsed = sum(
+                span.elapsed for span in revived if span.elapsed is not None
+            )
+            wrapper.children = revived
+            revived = [wrapper]
+        parent = self._stack[-1].children if self._stack else self.roots
+        parent.extend(revived)
+
     def render(self) -> str:
         """Indented human-readable timing tree."""
         lines = ["timings:"]

@@ -1,0 +1,81 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.faults import (
+    FAULT_MODES,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_always_triggers_every_attempt(self):
+        spec = FaultSpec("raise")
+        assert all(spec.triggers(attempt) for attempt in range(10))
+
+    def test_bounded_fault_clears_after_n_attempts(self):
+        spec = FaultSpec("raise", fail_attempts=2)
+        assert spec.triggers(0)
+        assert spec.triggers(1)
+        assert not spec.triggers(2)
+        assert not spec.triggers(7)
+
+    def test_zero_fail_attempts_never_triggers(self):
+        assert not FaultSpec("raise", fail_attempts=0).triggers(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec("explode")
+
+    def test_negative_fail_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("raise", fail_attempts=-2)
+
+    def test_modes_cover_the_recovery_paths(self):
+        assert set(FAULT_MODES) == {"raise", "hang", "crash", "garbage"}
+
+
+class TestFaultPlan:
+    def test_lookup_is_per_cell(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("raise"))
+        assert plan.spec_for("lru", "w0") is not None
+        assert plan.spec_for("lru", "w1") is None
+        assert plan.spec_for("ghrp", "w0") is None
+
+    def test_picklable_for_worker_transfer(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("garbage", 3))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.spec_for("lru", "w0") == FaultSpec("garbage", 3)
+
+    def test_raise_mode_raises_deterministically(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("raise", fail_attempts=1))
+        with pytest.raises(FaultInjected, match="lru/w0 attempt 0"):
+            plan.before_cell("lru", "w0", attempt=0)
+        # The same attempt always behaves the same way; later attempts pass.
+        with pytest.raises(FaultInjected):
+            plan.before_cell("lru", "w0", attempt=0)
+        plan.before_cell("lru", "w0", attempt=1)  # no fault
+
+    def test_unlisted_cell_is_untouched(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("raise"))
+        plan.before_cell("ghrp", "w0", attempt=0)
+        assert plan.mangle_result("ghrp", "w0", 0, "cell") == "cell"
+
+    def test_garbage_mode_mangles_only_triggering_attempts(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("garbage", fail_attempts=1))
+        mangled = plan.mangle_result("lru", "w0", 0, "cell")
+        assert mangled != "cell" and mangled["garbage"] is True
+        assert plan.mangle_result("lru", "w0", 1, "cell") == "cell"
+
+    def test_garbage_mode_does_not_fire_before_cell(self):
+        plan = FaultPlan().add("lru", "w0", FaultSpec("garbage"))
+        plan.before_cell("lru", "w0", attempt=0)  # must not raise/hang
+
+    def test_empty_plan_injects_nothing(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        plan.before_cell("lru", "w0", 0)

@@ -1,0 +1,260 @@
+"""Durability of the persistent result store.
+
+Covers the hardening the supervised executor leans on: actionable
+errors (never a raw ``json.JSONDecodeError``), corrupt-file quarantine,
+checksummed saves, crash-mid-save atomicity, and schema-evolution
+tolerance when rehydrating records.
+"""
+
+import json
+import logging
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import CellResult
+from repro.experiments.store import (
+    ResultStore,
+    ResultStoreError,
+    _records_checksum,
+)
+from repro.frontend.config import FrontEndConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture()
+def workload():
+    return make_workload(
+        "w", Category.SHORT_MOBILE, seed=1, trace_scale=0.02, footprint_scale=0.3
+    )
+
+
+@pytest.fixture()
+def config():
+    return FrontEndConfig(
+        icache_bytes=8 * 1024, icache_assoc=4, btb_entries=256,
+        warmup_cap_instructions=1000,
+    )
+
+
+def sample_cell(**overrides) -> CellResult:
+    fields = dict(
+        policy="lru", workload="w", icache_mpki=9.5, btb_mpki=6.0,
+        icache_misses=193, btb_misses=128, instructions=22165, branches=2060,
+        direction_accuracy=0.85, dead_evictions=3, bypasses=1,
+        elapsed_seconds=0.07, setup_seconds=0.01, simulate_seconds=0.06,
+    )
+    fields.update(overrides)
+    return CellResult(**fields)
+
+
+def stored_store(path, workload, config, cell) -> ResultStore:
+    store = ResultStore(path)
+    store.put(workload, "lru", config, cell)
+    store.save()
+    return store
+
+
+class TestCorruptionHandling:
+    def test_truncated_json_raises_actionable_error(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text('{"version": 2, "checksum": "ab', encoding="utf-8")
+        with pytest.raises(ResultStoreError) as excinfo:
+            ResultStore(path)
+        message = str(excinfo.value)
+        assert str(path) in message          # names the path
+        assert "recover=True" in message     # names a remedy
+        assert ".corrupt" in message         # names the backup
+
+    def test_corrupt_file_is_backed_up_not_lost(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text("not json at all", encoding="utf-8")
+        with pytest.raises(ResultStoreError):
+            ResultStore(path)
+        backup = tmp_path / "results.json.corrupt"
+        assert backup.read_text(encoding="utf-8") == "not json at all"
+        # The original is still in place (backed up by copy, so a later
+        # save() overwriting it cannot destroy the evidence).
+        assert path.exists()
+
+    def test_recover_mode_quarantines_and_starts_empty(self, tmp_path, caplog):
+        path = tmp_path / "results.json"
+        path.write_text("{broken", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.store"):
+            store = ResultStore(path, recover=True)
+        assert len(store) == 0
+        assert not path.exists()  # moved aside, not deleted
+        assert (tmp_path / "results.json.corrupt").exists()
+        assert "quarantined" in caplog.text
+
+    def test_repeated_quarantine_never_overwrites_earlier_backups(self, tmp_path):
+        path = tmp_path / "results.json"
+        for i in range(3):
+            path.write_text(f"broken #{i}", encoding="utf-8")
+            ResultStore(path, recover=True)
+        assert (tmp_path / "results.json.corrupt").read_text() == "broken #0"
+        assert (tmp_path / "results.json.corrupt.1").read_text() == "broken #1"
+        assert (tmp_path / "results.json.corrupt.2").read_text() == "broken #2"
+
+    def test_checksum_mismatch_detected(self, tmp_path, workload, config):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        next(iter(document["records"].values()))["icache_mpki"] = 0.0
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="checksum mismatch"):
+            ResultStore(path)
+
+    def test_non_object_top_level_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="not an object"):
+            ResultStore(path)
+
+    def test_legacy_bare_record_file_still_loads(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        store = stored_store(path, workload, config, sample_cell())
+        # Rewrite in the version-1 format: a bare key->record mapping.
+        path.write_text(json.dumps(store._records), encoding="utf-8")
+        reloaded = ResultStore(path)
+        assert reloaded.get(workload, "lru", config) == sample_cell()
+        # Saving upgrades the file to the checksummed format.
+        reloaded.save()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["version"] == 2
+        assert document["checksum"] == _records_checksum(document["records"])
+
+
+class TestAtomicSave:
+    def test_crash_mid_save_leaves_previous_store_intact(
+        self, tmp_path, workload, config, monkeypatch
+    ):
+        path = tmp_path / "results.json"
+        store = stored_store(path, workload, config, sample_cell())
+        before = path.read_text(encoding="utf-8")
+
+        def exploding_dump(obj, handle, **kwargs):
+            handle.write('{"version": 2, "chec')  # partial write, then die
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.experiments.store.json.dump", exploding_dump)
+        store.put(workload, "ghrp", config, sample_cell(policy="ghrp"))
+        with pytest.raises(OSError):
+            store.save()
+        # The real store never saw the half-written document...
+        assert path.read_text(encoding="utf-8") == before
+        assert ResultStore(path).get(workload, "lru", config) == sample_cell()
+        # ...only the scratch file did.
+        assert path.with_suffix(".tmp").exists()
+
+        # A stale .tmp from the crash does not break the next save.
+        monkeypatch.undo()
+        store.save()
+        assert not path.with_suffix(".tmp").exists()
+        assert ResultStore(path).get(workload, "ghrp", config) is not None
+
+    def test_save_replaces_atomically_leaving_no_scratch_file(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        assert not path.with_suffix(".tmp").exists()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["checksum"] == _records_checksum(document["records"])
+
+    def test_put_refuses_malformed_cells(self, tmp_path, workload, config):
+        store = ResultStore(tmp_path / "results.json")
+        with pytest.raises(ResultStoreError, match="refusing to record"):
+            store.put(workload, "lru", config, sample_cell(icache_mpki=float("nan")))
+        with pytest.raises(ResultStoreError, match="refusing to record"):
+            store.put(workload, "lru", config, {"not": "a cell"})
+
+
+class TestSchemaEvolution:
+    def rewrite_record(self, path, mutate):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        for record in document["records"].values():
+            mutate(record)
+        document["checksum"] = _records_checksum(document["records"])
+        path.write_text(json.dumps(document), encoding="utf-8")
+
+    def test_unknown_keys_from_newer_versions_are_ignored(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        self.rewrite_record(path, lambda r: r.update(future_field=42))
+        assert ResultStore(path).get(workload, "lru", config) == sample_cell()
+
+    def test_missing_optional_fields_take_defaults(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        self.rewrite_record(
+            path, lambda r: (r.pop("setup_seconds"), r.pop("simulate_seconds"))
+        )
+        cell = ResultStore(path).get(workload, "lru", config)
+        assert cell is not None
+        assert cell.setup_seconds == 0.0 and cell.simulate_seconds == 0.0
+
+    def test_missing_required_field_is_a_cache_miss_not_an_error(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        self.rewrite_record(path, lambda r: r.pop("icache_mpki"))
+        assert ResultStore(path).get(workload, "lru", config) is None
+
+    def test_malformed_record_value_is_a_cache_miss(
+        self, tmp_path, workload, config
+    ):
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, sample_cell())
+        self.rewrite_record(path, lambda r: r.update(instructions="many"))
+        assert ResultStore(path).get(workload, "lru", config) is None
+
+
+class TestRoundTripProperties:
+    @given(
+        mpki=st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False),
+        misses=st.integers(0, 10**9),
+        accuracy=st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+        shuffle_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_put_get_round_trips_across_field_reordering(
+        self, tmp_path_factory, mpki, misses, accuracy, shuffle_seed
+    ):
+        """Records survive arbitrary on-disk key order (dict reordering
+        across json dumps, field reordering across versions)."""
+        tmp_path = tmp_path_factory.mktemp("store")
+        workload = make_workload(
+            "w", Category.SHORT_MOBILE, seed=1, trace_scale=0.02,
+            footprint_scale=0.3,
+        )
+        config = FrontEndConfig(
+            icache_bytes=8 * 1024, icache_assoc=4, btb_entries=256,
+            warmup_cap_instructions=1000,
+        )
+        cell = sample_cell(
+            icache_mpki=mpki, icache_misses=misses, direction_accuracy=accuracy
+        )
+        path = tmp_path / "results.json"
+        stored_store(path, workload, config, cell)
+
+        document = json.loads(path.read_text(encoding="utf-8"))
+        reordered = {}
+        for key, record in document["records"].items():
+            items = list(record.items())
+            shuffle_seed.shuffle(items)
+            reordered[key] = dict(items)
+        document["records"] = reordered
+        document["checksum"] = _records_checksum(reordered)
+        path.write_text(json.dumps(document), encoding="utf-8")
+
+        assert ResultStore(path).get(workload, "lru", config) == cell
