@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-fault lint bench bench-quick examples figures clean
+.PHONY: install test test-fast test-fault lint check bench bench-quick examples figures clean
 
 # The fault-injection / robustness suite: supervised grid executor,
 # deterministic fault harness, store durability, corrupted-input guards.
@@ -23,6 +23,11 @@ lint:
 	else \
 		echo "ruff not installed; compileall only"; \
 	fi
+
+# Simulator-invariant static analysis: determinism, bit-width/storage
+# budget, and policy-contract rules.  See docs/static-analysis.md.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check src/repro
 
 test-fast:
 	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py

@@ -1,0 +1,49 @@
+"""Simulator-invariant static analysis (``repro-sim check``).
+
+An AST-based lint pass that enforces, at the source level, the invariants
+the test suite can only sample dynamically:
+
+- **Determinism** (:mod:`repro.analysis.lint.determinism`): simulation
+  results must be bit-identical across runs, hosts, and worker counts, so
+  kernel modules must not draw from global RNG state, read clocks or the
+  environment, iterate sets, or key maps by ``id()``.
+- **Bit widths and storage budget**
+  (:mod:`repro.analysis.lint.bitwidth`): every modeled register is masked
+  to a declared width, every saturating counter is clamped, and the
+  storage model still reproduces the paper's Table I accounting.
+- **Policy contracts** (:mod:`repro.analysis.lint.contracts`): every
+  registered replacement policy is a concrete, signature-compatible
+  :class:`~repro.cache.policy_api.ReplacementPolicy`, and policy modules
+  never mutate module state at call time.
+
+Findings are suppressed per line with ``# repro: allow(<rule-id>)``; see
+``docs/static-analysis.md`` for the rule catalogue and how to add rules.
+"""
+
+from repro.analysis.lint.core import (
+    Finding,
+    LintEngine,
+    LintResult,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.lint.reporters import render_json, render_rule_list, render_text
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "register_rule",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

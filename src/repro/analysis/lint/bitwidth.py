@@ -1,0 +1,347 @@
+"""Bit-width and storage-budget rules.
+
+The paper's hardware structures are fixed-width (Table I: 16-bit
+signatures, 2-bit saturating counters, 3 LRU bits per block, 4,096-entry
+tables).  Python integers are not, so the model only matches the hardware
+when every stored field is explicitly masked and every counter update is
+explicitly clamped.  These rules enforce the idioms; the budget rule
+re-derives Table I from the declared widths and fails the build when the
+model drifts from the paper's accounting.
+
+- ``bits-unmasked-shift-accum``: a register-accumulation pattern
+  (``x = (x << k) | bits`` or ``x <<= k``) whose result is not masked
+  grows without bound — the modeled register silently becomes infinitely
+  wide (path histories are the classic victim).
+- ``bits-saturating-counter``: in classes that declare a saturation bound
+  (an attribute named ``*_max`` / ``max_*``), ``+= 1`` / ``-= 1`` updates
+  of modeled state must be clamped: guarded by a comparison or wrapped in
+  ``min()``/``max()``.
+- ``bits-storage-budget``: recomputes the GHRP storage breakdown from the
+  declared widths in :class:`repro.core.config.GHRPConfig` and checks the
+  Table I figures that ``benchmarks/test_table1_storage.py`` asserts
+  (3 x 4096 x 2-bit tables, 16-bit signatures, 3 LRU bits at 8 ways,
+  total metadata in the paper's ~5 KB range).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.core import (
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    node_key,
+    register_rule,
+    terminal_name,
+)
+
+__all__ = ["UnmaskedShiftAccumRule", "SaturatingCounterRule", "StorageBudgetRule"]
+
+
+@register_rule
+class UnmaskedShiftAccumRule(Rule):
+    id = "bits-unmasked-shift-accum"
+    description = (
+        "self-referential left-shift accumulation without a width mask "
+        "models an infinitely wide register; AND with mask(width)"
+    )
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+        if not source.is_kernel:
+            return ()
+        return self._check(source)
+
+    def _check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.LShift):
+                yield self.finding(
+                    source,
+                    node,
+                    "<<= accumulates without a mask; use "
+                    "x = ((x << k) | bits) & mask(width)",
+                )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, (ast.Name, ast.Attribute, ast.Subscript)):
+                    continue
+                value = node.value
+                if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitAnd):
+                    continue  # top-level mask: the canonical idiom
+                if self._contains_self_shift(value, node_key(target)):
+                    yield self.finding(
+                        source,
+                        node,
+                        "shift-accumulated store is never masked to a "
+                        "declared width; AND the result with mask(width)",
+                    )
+
+    @staticmethod
+    def _contains_self_shift(value: ast.AST, target_key: str) -> bool:
+        for node in ast.walk(value):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.LShift)
+                and node_key(node.left) == target_key
+            ):
+                return True
+        return False
+
+
+@register_rule
+class SaturatingCounterRule(Rule):
+    id = "bits-saturating-counter"
+    description = (
+        "in a class declaring a *_max saturation bound, counter updates "
+        "(+= 1 / -= 1) must clamp: guard with a comparison or wrap in "
+        "min()/max()"
+    )
+
+    # Bookkeeping that is legitimately unbounded in the model: event
+    # tallies and Lamport-style recency clocks, which exist for statistics
+    # and LRU ordering, not as modeled hardware registers.
+    _EXEMPT_NAMES = frozenset(
+        {
+            "clock",
+            "_clock",
+            "_sampler_clock",
+            "increments",
+            "decrements",
+            "predictions",
+            "mispredictions",
+            "hits",
+            "misses",
+            "accesses",
+            "evictions",
+            "fills",
+            "bypasses",
+            "lookups",
+            "written",
+            "seq",
+        }
+    )
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+        if not source.is_kernel:
+            return ()
+        return self._check(source)
+
+    def _check(self, source: SourceFile) -> Iterator[Finding]:
+        for class_node in ast.walk(source.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not self._declares_saturation_bound(class_node):
+                continue
+            for func in ast.walk(class_node):
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                guarded_keys = self._compared_keys(func)
+                state_temps = self._state_temps(func)
+                for statement in ast.walk(func):
+                    yield from self._check_update(
+                        source, statement, guarded_keys, state_temps
+                    )
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _is_bound_name(name: str) -> bool:
+        parts = name.lstrip("_").split("_")
+        return "max" in parts
+
+    def _declares_saturation_bound(self, class_node: ast.ClassDef) -> bool:
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = terminal_name(target)
+                    if name is not None and self._is_bound_name(name):
+                        return True
+            elif isinstance(node, ast.AnnAssign):
+                name = terminal_name(node.target)
+                if name is not None and self._is_bound_name(name):
+                    return True
+        return False
+
+    def _compared_keys(self, func: ast.AST) -> frozenset[str]:
+        """Structural keys of every expression compared in ``func``.
+
+        A comparison anywhere in the function counts as bound-awareness
+        for that expression: the usual saturating idiom is
+        ``if value < self.counter_max: table[i] = value + 1``.
+        """
+        keys: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Compare):
+                keys.add(node_key(node.left))
+                for comparator in node.comparators:
+                    keys.add(node_key(comparator))
+        return frozenset(keys)
+
+    @staticmethod
+    def _state_temps(func: ast.AST) -> frozenset[str]:
+        """Local names loaded from model state (``value = table[index]``).
+
+        Only such read-modify-write temps count as counter values in the
+        ``T = v + 1`` shape — plain arithmetic like
+        ``entries_mask = table_entries - 1`` must not match.
+        """
+        temps: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, (ast.Subscript, ast.Attribute))
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        temps.add(target.id)
+        return frozenset(temps)
+
+    def _check_update(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        guarded_keys: frozenset[str],
+        state_temps: frozenset[str],
+    ) -> Iterator[Finding]:
+        # Two shapes of the unit-step counter update:
+        #   T += 1                       (operand compared: T)
+        #   T = v + 1  /  T = T + 1      (operand compared: v / T)
+        # Clamped min()/max() wrappers have a Call as RHS, so they never
+        # match — the only shapes left are raw, unclamped +/- 1 stores.
+        target: ast.AST | None = None
+        step: ast.AST | None = None
+        operand: ast.AST | None = None
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+            target, step, operand = node.target, node.value, node.target
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            rhs = node.value
+            if isinstance(rhs, ast.BinOp) and isinstance(rhs.op, (ast.Add, ast.Sub)):
+                same_as_target = node_key(rhs.left) == node_key(node.targets[0])
+                is_state_temp = (
+                    isinstance(rhs.left, ast.Name) and rhs.left.id in state_temps
+                )
+                if is_state_temp or same_as_target:
+                    target, step, operand = node.targets[0], rhs.right, rhs.left
+        if target is None or step is None or operand is None:
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return  # local loop variables are not modeled state
+        if not (isinstance(step, ast.Constant) and step.value == 1):
+            return  # only the unit-step counter idiom
+        name = terminal_name(target)
+        if name is None or name in self._EXEMPT_NAMES:
+            return
+        if node_key(operand) in guarded_keys:
+            return
+        direction = "increment" if self._is_add(node) else "decrement"
+        bound = "its saturation bound" if self._is_add(node) else "zero"
+        yield self.finding(
+            source,
+            node,
+            f"saturating-counter {direction} of '{name}' is never compared "
+            f"against {bound} in this function; clamp before storing",
+        )
+
+    @staticmethod
+    def _is_add(node: ast.AST) -> bool:
+        if isinstance(node, ast.AugAssign):
+            return isinstance(node.op, ast.Add)
+        assert isinstance(node, ast.Assign)
+        return isinstance(node.value.op, ast.Add)  # type: ignore[attr-defined]
+
+
+@register_rule
+class StorageBudgetRule(ProjectRule):
+    id = "bits-storage-budget"
+    description = (
+        "the storage model must reproduce Table I from the declared widths "
+        "(16-bit signatures, 3 x 4096 x 2-bit tables, 3 LRU bits, ~5 KB)"
+    )
+
+    # The figures benchmarks/test_table1_storage.py asserts.
+    _TABLE_BITS = 3 * 4096 * 2
+    _TOTAL_KB_RANGE = (4.0, 6.5)
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        from repro.core import config as config_module
+        from repro.core import storage as storage_module
+        from repro.experiments.figures import table1_storage
+
+        config_path = str(Path(config_module.__file__))
+        storage_path = str(Path(storage_module.__file__))
+        config = config_module.GHRPConfig.paper_exact()
+
+        declared = {
+            "signature_bits": (config.signature_bits, 16),
+            "counter_bits": (config.counter_bits, 2),
+            "num_tables": (config.num_tables, 3),
+            "table_entries": (config.table_entries, 4096),
+            "history_bits": (config.history_bits, 16),
+        }
+        for field_name, (actual, expected) in declared.items():
+            if actual != expected:
+                yield Finding(
+                    rule=self.id,
+                    path=config_path,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"paper_exact().{field_name} is {actual}, Table I "
+                        f"declares {expected}"
+                    ),
+                )
+
+        ghrp, sdbp = table1_storage()
+        tables = [item for item in ghrp.items if "Prediction tables" in item.component]
+        if not tables or tables[0].bits != self._TABLE_BITS:
+            got = tables[0].bits if tables else "absent"
+            yield Finding(
+                rule=self.id,
+                path=storage_path,
+                line=1,
+                col=1,
+                message=(
+                    f"prediction-table budget is {got} bits; Table I declares "
+                    f"3 x 4096 x 2 = {self._TABLE_BITS}"
+                ),
+            )
+        lru = [item for item in ghrp.items if "LRU" in item.component]
+        blocks = (64 * 1024) // 64
+        if not lru or lru[0].bits != blocks * 3:
+            got = lru[0].bits if lru else "absent"
+            yield Finding(
+                rule=self.id,
+                path=storage_path,
+                line=1,
+                col=1,
+                message=(
+                    f"LRU budget is {got} bits; Table I declares 3 bits for "
+                    f"each of the {blocks} blocks of the 64KB/8-way cache"
+                ),
+            )
+        low, high = self._TOTAL_KB_RANGE
+        if not low < ghrp.total_kilobytes < high:
+            yield Finding(
+                rule=self.id,
+                path=storage_path,
+                line=1,
+                col=1,
+                message=(
+                    f"GHRP metadata totals {ghrp.total_kilobytes:.2f} KB, "
+                    f"outside the paper's ~5 KB range ({low}, {high})"
+                ),
+            )
+        if sdbp.total_bits <= 2 * ghrp.total_bits:
+            yield Finding(
+                rule=self.id,
+                path=storage_path,
+                line=1,
+                col=1,
+                message=(
+                    "modified SDBP must cost considerably more than GHRP "
+                    f"(> 2x); got {sdbp.total_bits} vs {ghrp.total_bits} bits"
+                ),
+            )

@@ -1,0 +1,52 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON shape is stable (CI parses exit codes, humans parse the text,
+tools parse this): top-level counts plus one object per finding with
+``rule``/``path``/``line``/``col``/``message``/``severity``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.core import LintResult, all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    summary = (
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s), "
+        f"{len(result.suppressed)} suppressed, {result.files_checked} file(s) checked"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "suppressed": len(result.suppressed),
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed_findings": [finding.to_dict() for finding in result.suppressed],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table."""
+    rules = all_rules()
+    width = max(len(rule.id) for rule in rules)
+    lines = [f"{rule.id:<{width}}  {rule.description}" for rule in rules]
+    lines.append("")
+    lines.append(
+        "suppress a finding with '# repro: allow(<rule-id>)' on its line "
+        "(or alone on the line above), with a trailing reason"
+    )
+    return "\n".join(lines)

@@ -19,7 +19,11 @@ Subcommands:
   event JSONL (evictions, bypasses, wrong-path episodes, ...) plus a
   metrics and per-phase timing summary;
 - ``gen-trace`` — synthesize a workload and write it as a trace file;
-- ``characterize`` — reuse-distance + deadness analysis of a workload.
+- ``characterize`` — reuse-distance + deadness analysis of a workload;
+- ``check``     — run the simulator-invariant static-analysis pass
+  (determinism lint, bit-width/storage-budget checks, policy-contract
+  conformance) over source trees; exits 1 on any non-suppressed error,
+  which is how CI gates on it.
 
 Global flags (accepted before or after the subcommand):
 
@@ -34,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.experiments import figures
 from repro.experiments.runner import run_cell, run_grid, run_workload
@@ -352,6 +357,36 @@ def _cmd_gen_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static analysis: lint source trees for simulator-invariant violations."""
+    from repro.analysis.lint import (
+        LintEngine,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    rules = None
+    if args.rules:
+        rules = [rule_id for spec in args.rules for rule_id in spec.split(",") if rule_id]
+    try:
+        engine = LintEngine(paths, rules=rules)
+        result = engine.run()
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-sim check: {error}")
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.analysis import characterize_workload
 
@@ -487,6 +522,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(characterize)
     characterize.add_argument("--branches", type=int, default=20_000)
     characterize.set_defaults(func=_cmd_characterize)
+
+    check = add_subcommand(
+        "check", "static analysis: determinism, bit-width, and contract rules"
+    )
+    check.add_argument("paths", nargs="*",
+                       help="files or directories to lint (default: the "
+                            "installed repro package)")
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       help="finding report format (default: text)")
+    check.add_argument("--rules", action="append", default=[],
+                       metavar="RULE[,RULE...]",
+                       help="run only these rule ids (repeatable)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="list every rule id with its description and exit")
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -55,6 +55,8 @@ class TreePLRUPolicy(ReplacementPolicy):
         way = 0
         for _ in range(self._levels):
             go_right = tree[node]
+            # repro: allow(bits-unmasked-shift-accum) -- accumulates one
+            # bit per tree level, bounded at log2(associativity) bits.
             way = (way << 1) | int(go_right)
             node = 2 * node + (2 if go_right else 1)
         return way

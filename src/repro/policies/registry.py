@@ -35,6 +35,8 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
     """Register ``factory`` under ``name``; duplicate names are an error."""
     if name in _REGISTRY:
         raise ValueError(f"policy {name!r} is already registered")
+    # repro: allow(contract-module-state) -- the sanctioned registration
+    # point: called at import time only, and duplicate names are an error.
     _REGISTRY[name] = factory
 
 

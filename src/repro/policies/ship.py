@@ -87,8 +87,10 @@ class SHiPPolicy(ReplacementPolicy):
             for way, value in enumerate(rrpvs):
                 if value == self.rrpv_max:
                     return way
+            # Saturating aging, as in SRRIP: the M-bit RRPV cannot pass
+            # rrpv_max (min() never binds here, but the width is enforced).
             for way in range(len(rrpvs)):
-                rrpvs[way] += 1
+                rrpvs[way] = min(rrpvs[way] + 1, self.rrpv_max)
 
     def predicts_dead(self, set_index: int, way: int) -> bool:
         """A distant-inserted, never-reused block is SHiP's 'dead' call."""

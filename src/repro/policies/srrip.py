@@ -63,9 +63,12 @@ class SRRIPPolicy(ReplacementPolicy):
             for way, value in enumerate(rrpvs):
                 if value == self.rrpv_max:
                     return way
-            # Age the whole set until some block is distant.
+            # Age the whole set until some block is distant.  RRPVs are
+            # M-bit hardware counters, so aging saturates at rrpv_max
+            # (all values are below it here, making min() a no-op — but
+            # the register can never exceed its width).
             for way in range(len(rrpvs)):
-                rrpvs[way] += 1
+                rrpvs[way] = min(rrpvs[way] + 1, self.rrpv_max)
 
 
 class BRRIPPolicy(SRRIPPolicy):

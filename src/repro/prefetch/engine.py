@@ -20,8 +20,11 @@ class PrefetchingICache:
     def __init__(self, cache: SetAssociativeCache, prefetcher: Prefetcher):
         self.cache = cache
         self.prefetcher = prefetcher
-        # Blocks resident due to an un-referenced prefetch.
-        self._pending: set[int] = set()
+        # Blocks resident due to an un-referenced prefetch.  A dict used
+        # as an insertion-ordered "set": kernel code never iterates hash
+        # order (det-set-iteration), and this keeps the pruning pass
+        # deterministic by construction.
+        self._pending: dict[int, None] = {}
 
     @property
     def stats(self):
@@ -32,7 +35,7 @@ class PrefetchingICache:
         block = self.cache.geometry.block_address(address)
         result = self.cache.access(address, pc=pc)
         if block in self._pending:
-            self._pending.discard(block)
+            del self._pending[block]
             if result.hit:
                 # First demand touch while still resident: useful.  A miss
                 # means the prefetch was evicted before use — not useful.
@@ -44,12 +47,12 @@ class PrefetchingICache:
             filled = self.cache.prefetch_fill(candidate_block, pc=candidate_block)
             if filled:
                 self.prefetcher.stats.filled += 1
-                self._pending.add(candidate_block)
+                self._pending[candidate_block] = None
         # Evicted-before-use prefetches: lazily prune pending blocks that
         # are no longer resident (bounded cost: pending is small).
         if len(self._pending) > 4 * self.cache.geometry.associativity:
             self._pending = {
-                b for b in self._pending if self.cache.contains(b)
+                b: None for b in self._pending if self.cache.contains(b)
             }
         return result
 
