@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-fault lint check bench bench-quick examples figures clean
+.PHONY: install test test-fast test-fault lint check bench bench-quick bench-smoke examples figures clean
 
 # The fault-injection / robustness suite: supervised grid executor,
 # deterministic fault harness, store durability, corrupted-input guards.
@@ -45,6 +45,12 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast-path kernel microbenchmark on a tiny workload: times the batched
+# engine against the reference engine and writes BENCH_PERF.json at the
+# repo root (the perf trajectory future PRs measure against).
+bench-smoke:
+	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/test_kernel_throughput.py -q -s
 
 figures: bench
 	@echo "rendered figures: benchmarks/results/figures.txt (+ .pgm/.svg)"

@@ -16,12 +16,11 @@ implements two policies from scratch and races them against the built-ins:
 Run:  python examples/custom_policy.py
 """
 
-from repro import Category, FrontEndConfig, make_workload
+from repro import Category, FrontEndConfig, build_policies, make_workload
 from repro.cache.geometry import CacheGeometry
 from repro.cache.policy_api import AccessContext, ReplacementPolicy
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.experiments.report import format_table
-from repro.policies.registry import make_policy
 from repro.traces.reconstruct import FetchBlockStream
 
 
@@ -100,6 +99,16 @@ class LIPPolicy(ReplacementPolicy):
         return min(range(len(recency)), key=recency.__getitem__)
 
 
+def builtin_policy(name: str) -> ReplacementPolicy:
+    """One built-in I-cache policy, constructed exactly as the front end
+    would (``build_policies`` is the single source of truth — GHRP gets the
+    tuned synthetic config and its predictor wiring for free)."""
+    icache_policy, _btb_policy, _ghrp = build_policies(
+        FrontEndConfig(icache_policy=name)
+    )
+    return icache_policy
+
+
 def main() -> None:
     workload = make_workload("custom", Category.SHORT_SERVER, seed=3)
     accesses = []
@@ -110,11 +119,11 @@ def main() -> None:
 
     geometry = CacheGeometry.from_capacity(64 * 1024, 8, 64)
     contenders = {
-        "lru": make_policy("lru"),
-        "srrip": make_policy("srrip"),
+        "lru": builtin_policy("lru"),
+        "srrip": builtin_policy("srrip"),
         "ship-lite": ShipLitePolicy(),
         "lip": LIPPolicy(),
-        "ghrp": make_policy("ghrp"),
+        "ghrp": builtin_policy("ghrp"),
     }
     rows = []
     for label, policy in contenders.items():

@@ -16,12 +16,12 @@ Run:  python examples/icache_policy_study.py [--policies lru ghrp opt ...]
 
 import argparse
 
-from repro import Category, FrontEndConfig, make_workload
+from repro import Category, FrontEndConfig, build_policies, make_workload
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.experiments.report import format_table
 from repro.policies.opt import BeladyOptPolicy
-from repro.policies.registry import available_policies, make_policy
+from repro.policies.registry import available_policies
 from repro.traces.reconstruct import FetchBlockStream
 
 DEFAULT_POLICIES = ("lru", "fifo", "plru", "srrip", "drrip", "sdbp", "ghrp", "opt")
@@ -44,12 +44,12 @@ def simulate(accesses, capacity_kb, assoc, policy_name, warmup_index):
     if policy_name == "opt":
         policy = BeladyOptPolicy()
         policy.preload([block for block, _ in accesses])
-    elif policy_name == "ghrp":
-        from repro.core.config import GHRPConfig
-
-        policy = make_policy("ghrp", config=GHRPConfig.tuned_for_synthetic())
     else:
-        policy = make_policy(policy_name)
+        # Route through the front end's single source of truth for policy
+        # construction (GHRP picks up the tuned synthetic config there).
+        policy, _btb_policy, _ghrp = build_policies(
+            FrontEndConfig(icache_policy=policy_name)
+        )
     cache = SetAssociativeCache(geometry, policy)
     snapshot = None
     for index, (block, pc) in enumerate(accesses):

@@ -1,20 +1,21 @@
 #!/usr/bin/env python3
 """Quickstart: simulate one workload under GHRP and LRU and compare.
 
-This is the 60-second tour of the library:
+This is the 60-second tour of the library, written against the stable
+facade (:mod:`repro.api`):
 
 1. synthesize a CBP-5-style workload (a server-class instruction stream),
-2. build the paper's front end (64KB 8-way I-cache, 4K-entry 4-way BTB,
-   hashed perceptron direction predictor),
-3. run it under LRU and under GHRP,
-4. compare I-cache and BTB MPKI.
+2. call :func:`repro.simulate` under LRU and under GHRP — the facade
+   builds the paper's front end (64KB 8-way I-cache, 4K-entry 4-way BTB,
+   hashed perceptron direction predictor) for you,
+3. compare I-cache and BTB MPKI.
 
-Run:  python examples/quickstart.py [--fast]
+Run:  python examples/quickstart.py [--fast] [--engine fast]
 """
 
 import argparse
 
-from repro import Category, FrontEndConfig, build_frontend, make_workload
+from repro import Category, ENGINES, RunOptions, make_workload, simulate
 
 
 def main() -> None:
@@ -22,6 +23,10 @@ def main() -> None:
     parser.add_argument(
         "--fast", action="store_true",
         help="use a shorter trace (quicker, less pronounced differences)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="reference",
+        help="simulation engine (the batched 'fast' path is bit-identical)",
     )
     args = parser.parse_args()
 
@@ -38,14 +43,17 @@ def main() -> None:
     print()
 
     # The paper's warm-up rule: half the trace, capped.
-    warmup = min(workload.instruction_count() // 2, 200_000)
+    options = RunOptions(
+        warmup_instructions=min(workload.instruction_count() // 2, 200_000)
+    )
 
-    # 2-4. Simulate under each policy and report.
+    # 2-3. Simulate under each policy and report.
     print(f"{'policy':8s} {'I-cache MPKI':>14s} {'BTB MPKI':>10s} {'dir acc':>9s}")
     baseline = None
     for policy in ("lru", "ghrp"):
-        frontend = build_frontend(FrontEndConfig(icache_policy=policy))
-        result = frontend.run(workload.records(), warmup_instructions=warmup)
+        result = simulate(
+            workload, policy=policy, options=options, engine=args.engine
+        )
         marker = ""
         if policy == "lru":
             baseline = result

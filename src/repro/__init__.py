@@ -5,20 +5,21 @@ Predictive replacement for instruction caches and branch target buffers:
 Branch Target Buffer*, Mirbagher Ajorpaz, Garza, Jindal, Jiménez,
 ISCA 2018.
 
-Quickstart::
+Quickstart (via the stable facade, :mod:`repro.api`)::
 
-    from repro import FrontEndConfig, build_frontend, make_workload, Category
+    from repro import Category, make_workload, simulate
 
     workload = make_workload("demo", Category.SHORT_SERVER, seed=1)
-    frontend = build_frontend(FrontEndConfig(icache_policy="ghrp"))
-    result = frontend.run(workload.records(), warmup_instructions=100_000)
+    result = simulate(workload, policy="ghrp", engine="fast")
     print(result.summary_line())
 
 Package map (see DESIGN.md for the full inventory):
 
+- :mod:`repro.api` — the stable facade (simulate / sweep / sessions)
 - :mod:`repro.core` — the GHRP predictor (history, signatures, tables)
 - :mod:`repro.policies` — LRU/Random/SRRIP/SDBP/GHRP and friends
 - :mod:`repro.cache`, :mod:`repro.btb` — the cached structures
+- :mod:`repro.kernel` — the batched fast-path engine (bit-identical)
 - :mod:`repro.branch` — direction predictors and the RAS
 - :mod:`repro.traces`, :mod:`repro.workloads` — traces and their synthesis
 - :mod:`repro.frontend` — the decoupled front-end simulator
@@ -31,14 +32,16 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.btb.btb import BranchTargetBuffer
 from repro.frontend.config import FrontEndConfig
-from repro.frontend.engine import FrontEnd, build_frontend
+from repro.frontend.engine import ENGINES, FrontEnd, build_frontend, build_policies
+from repro.frontend.options import RunOptions
 from repro.frontend.results import SimulationResult
+from repro.api import SimulationSession, SweepOptions, simulate, sweep
 from repro.policies.registry import available_policies, make_policy
 from repro.traces.record import BranchRecord, BranchType
 from repro.workloads.spec import Category
 from repro.workloads.suite import Workload, make_suite, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GHRPConfig",
@@ -48,7 +51,14 @@ __all__ = [
     "BranchTargetBuffer",
     "FrontEndConfig",
     "FrontEnd",
+    "ENGINES",
     "build_frontend",
+    "build_policies",
+    "RunOptions",
+    "SweepOptions",
+    "SimulationSession",
+    "simulate",
+    "sweep",
     "SimulationResult",
     "available_policies",
     "make_policy",

@@ -103,7 +103,10 @@ class SaturatingCounterRule(Rule):
 
     # Bookkeeping that is legitimately unbounded in the model: event
     # tallies and Lamport-style recency clocks, which exist for statistics
-    # and LRU ordering, not as modeled hardware registers.
+    # and LRU ordering, not as modeled hardware registers.  The fast-path
+    # kernels accumulate the same tallies in kernel-local deltas flushed by
+    # sync(); the ``d_``/``_d_`` prefixes mark those.
+    _EXEMPT_PREFIXES = ("d_", "_d_")
     _EXEMPT_NAMES = frozenset(
         {
             "clock",
@@ -234,6 +237,8 @@ class SaturatingCounterRule(Rule):
         name = terminal_name(target)
         if name is None or name in self._EXEMPT_NAMES:
             return
+        if name.startswith(self._EXEMPT_PREFIXES):
+            return  # kernel stats deltas (see sync())
         if node_key(operand) in guarded_keys:
             return
         direction = "increment" if self._is_add(node) else "decrement"

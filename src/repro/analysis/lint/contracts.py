@@ -16,12 +16,20 @@ Two invariants keep that true:
   couple through a shared global; registration-time mutation of an
   explicit registry is the one sanctioned exception (suppressed where it
   happens, with the reason).
+- ``contract-fast-path`` (project rule): a policy that opts into the
+  batched engine (``supports_fast_path``) must have a kernel registered
+  for its *exact* class, and must still pass the reference-path ABC
+  contract — the fast path falls back to (and is differentially tested
+  against) the reference engine, so opting in never excuses breaking it.
+  Conversely a kernel registered for a class that does not opt in is
+  unreachable.
 """
 
 from __future__ import annotations
 
 import ast
 import inspect
+from dataclasses import replace
 from typing import Iterable, Iterator
 
 from repro.analysis.lint.core import (
@@ -34,7 +42,7 @@ from repro.analysis.lint.core import (
     terminal_name,
 )
 
-__all__ = ["PolicyAbcRule", "ModuleStateRule"]
+__all__ = ["PolicyAbcRule", "ModuleStateRule", "FastPathRule"]
 
 
 @register_rule
@@ -131,6 +139,61 @@ class PolicyAbcRule(ProjectRule):
         return Finding(
             rule="contract-policy-abc", path=path, line=line, col=1, message=message
         )
+
+
+@register_rule
+class FastPathRule(ProjectRule):
+    id = "contract-fast-path"
+    description = (
+        "fast-path policies (supports_fast_path) must register a kernel "
+        "for their exact class and pass the reference-path ABC contract"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        from repro.cache.policy_api import ReplacementPolicy
+        from repro.kernel.base import registered_kernels
+        from repro.policies import registry
+
+        kernels = registered_kernels()
+        abc_rule = PolicyAbcRule()
+        for name in registry.available_policies():
+            factory = registry._REGISTRY[name]
+            if isinstance(factory, type):
+                cls = factory
+            else:
+                try:
+                    cls = type(factory())
+                except Exception:  # noqa: BLE001 - contract-policy-abc reports it
+                    continue
+            if not getattr(cls, "supports_fast_path", False):
+                continue
+            if cls not in kernels:
+                yield replace(
+                    PolicyAbcRule._finding_for(
+                        cls,
+                        f"policy {name!r} ({cls.__name__}) sets "
+                        "supports_fast_path but no kernel is registered for "
+                        "its exact class; build_frontend would silently fall "
+                        "back to the reference engine",
+                    ),
+                    rule=self.id,
+                )
+            # Opting into the fast path never excuses the reference
+            # contract: the fall-back and the differential harness both
+            # drive the policy through the reference engine.
+            for finding in abc_rule._check_signatures(name, cls, ReplacementPolicy):
+                yield replace(finding, rule=self.id)
+        for policy_cls, kernel_cls in kernels.items():
+            if not getattr(policy_cls, "supports_fast_path", False):
+                yield replace(
+                    PolicyAbcRule._finding_for(
+                        kernel_cls,
+                        f"kernel {kernel_cls.__name__} is registered for "
+                        f"{policy_cls.__name__}, which does not set "
+                        "supports_fast_path; the kernel is unreachable",
+                    ),
+                    rule=self.id,
+                )
 
 
 @register_rule

@@ -50,10 +50,12 @@ __all__ = [
 
 # Simulation-kernel package names: determinism and bit-width rules apply
 # only to files under a directory with one of these names.  The five the
-# issue names plus the core predictor engine and the branch/BTB models,
-# which are kernel state machines in the same sense.
+# issue names plus the core predictor engine, the branch/BTB models, and
+# the batched fast-path kernels, which are kernel state machines in the
+# same sense.
 KERNEL_DIR_NAMES = frozenset(
-    {"cache", "policies", "frontend", "traces", "prefetch", "core", "btb", "branch"}
+    {"cache", "policies", "frontend", "traces", "prefetch", "core", "btb",
+     "branch", "kernel"}
 )
 
 # Modules allowed to read process configuration (environment variables).

@@ -1,0 +1,218 @@
+"""The stable high-level facade: simulate, sweep, and sessions.
+
+This module is the supported entry point for scripting the simulator.  It
+wraps the lower layers (workload synthesis, front-end construction, the
+reference and batched engines, the grid runner) behind three things:
+
+- :func:`simulate` — one workload, one configuration, one result.
+- :func:`sweep` — a (policy, workload) grid, returning MPKI tables.
+- :class:`SimulationSession` — a reusable context (config + engine +
+  observability) when you run many simulations and don't want to repeat
+  yourself.
+
+All knobs are keyword-only dataclasses (:class:`RunOptions`,
+:class:`SweepOptions`), so call sites stay readable and adding a field is
+never a breaking change.  The ``engine`` knob selects the reference
+per-access engine (``"reference"``) or the batched fast path (``"fast"``);
+the two are bit-identical, and configurations the fast path does not
+support fall back to the reference engine transparently.
+
+Everything exported here is also re-exported from :mod:`repro` itself::
+
+    from repro import Category, make_workload, simulate
+
+    workload = make_workload("demo", Category.SHORT_SERVER, seed=1)
+    result = simulate(workload, policy="ghrp", engine="fast")
+    print(result.summary_line())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.experiments.runner import CellResult, GridResult, run_cell
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import ENGINES, build_frontend, build_policies
+from repro.frontend.options import RunOptions
+from repro.frontend.results import SimulationResult
+from repro.obs import NULL_OBS, Observability
+from repro.workloads.suite import Workload
+
+__all__ = [
+    "RunOptions",
+    "SweepOptions",
+    "SimulationSession",
+    "simulate",
+    "sweep",
+    # Construction helpers, re-exported so facade users never need to
+    # import from the internals.
+    "ENGINES",
+    "build_frontend",
+    "build_policies",
+    "FrontEndConfig",
+    "SimulationResult",
+]
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class SweepOptions:
+    """What a sweep covers.
+
+    Attributes
+    ----------
+    policies:
+        Replacement policies to race; each cell simulates with fresh
+        front-end state and the policy driving both the I-cache and the
+        BTB (the paper's grid methodology).
+    """
+
+    policies: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError("SweepOptions.policies must not be empty")
+        # Accept any sequence of names but normalize to a tuple so the
+        # options object stays hashable/frozen.
+        if not isinstance(self.policies, tuple):
+            object.__setattr__(self, "policies", tuple(self.policies))
+        for name in self.policies:
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"policy names must be non-empty strings, got {name!r}")
+
+
+class SimulationSession:
+    """A reusable simulation context: one config, one engine, one obs.
+
+    Sessions exist so scripts that run many simulations (policy studies,
+    sweeps, notebooks) configure the front end once::
+
+        session = SimulationSession(
+            config=FrontEndConfig(wrong_path_depth=4), engine="fast"
+        )
+        for policy in ("lru", "sdbp", "ghrp"):
+            result = session.simulate(workload, policy=policy)
+
+    The session itself is stateless between runs — every ``simulate`` and
+    ``sweep`` call builds a fresh front end, so results never leak state
+    from one run into the next.
+    """
+
+    __slots__ = ("config", "engine", "obs")
+
+    def __init__(
+        self,
+        *,
+        config: FrontEndConfig | None = None,
+        engine: str = "reference",
+        obs: Observability = NULL_OBS,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.config = config if config is not None else FrontEndConfig()
+        self.engine = engine
+        self.obs = obs
+
+    # ------------------------------------------------------------------
+    # Single runs
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        workload: Workload | Iterable,
+        *,
+        policy: str | None = None,
+        btb_policy: str | None = None,
+        options: RunOptions | None = None,
+    ) -> SimulationResult:
+        """Simulate one workload; returns the :class:`SimulationResult`.
+
+        ``workload`` is either a :class:`~repro.workloads.suite.Workload`
+        or any iterable of branch records.  ``policy``/``btb_policy``
+        override the session config's I-cache/BTB policies for this run.
+        When ``options`` is omitted and the workload can report its
+        instruction count, the paper's warm-up rule (half the trace,
+        capped) is applied; a bare record iterable runs unwarmed.
+        """
+        config = self.config
+        overrides = {}
+        if policy is not None:
+            overrides["icache_policy"] = policy
+        if btb_policy is not None:
+            overrides["btb_policy"] = btb_policy
+        if overrides:
+            config = config.with_overrides(**overrides)
+
+        if isinstance(workload, Workload):
+            records = workload.records()
+            if options is None:
+                options = RunOptions.from_config_warmup(
+                    config, workload.instruction_count()
+                )
+        else:
+            records = workload
+            if options is None:
+                options = RunOptions(max_instructions=config.max_instructions)
+
+        frontend = build_frontend(config, obs=self.obs, engine=self.engine)
+        return frontend.run(records, options)
+
+    # ------------------------------------------------------------------
+    # Grids
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        workloads: Workload | Sequence[Workload],
+        options: SweepOptions,
+        *,
+        progress: Callable[[CellResult], None] | None = None,
+    ) -> GridResult:
+        """Run every (policy, workload) cell; returns the grid.
+
+        Each cell gets fresh front-end state with the policy driving both
+        the I-cache and the BTB, warmed by the paper's rule — the same
+        methodology as :func:`repro.experiments.runner.run_grid`, with the
+        session's engine applied to every cell.
+        """
+        if isinstance(workloads, Workload):
+            workloads = (workloads,)
+        grid = GridResult()
+        for workload in workloads:
+            for policy in options.policies:
+                cell = run_cell(
+                    workload, policy, self.config, obs=self.obs, engine=self.engine
+                )
+                grid.add(cell)
+                if progress is not None:
+                    progress(cell)
+        return grid
+
+
+def simulate(
+    workload: Workload | Iterable,
+    *,
+    policy: str | None = None,
+    btb_policy: str | None = None,
+    config: FrontEndConfig | None = None,
+    engine: str = "reference",
+    options: RunOptions | None = None,
+    obs: Observability = NULL_OBS,
+) -> SimulationResult:
+    """Simulate one workload (one-shot form of :class:`SimulationSession`)."""
+    session = SimulationSession(config=config, engine=engine, obs=obs)
+    return session.simulate(
+        workload, policy=policy, btb_policy=btb_policy, options=options
+    )
+
+
+def sweep(
+    workloads: Workload | Sequence[Workload],
+    options: SweepOptions,
+    *,
+    config: FrontEndConfig | None = None,
+    engine: str = "reference",
+    obs: Observability = NULL_OBS,
+    progress: Callable[[CellResult], None] | None = None,
+) -> GridResult:
+    """Run a (policy, workload) grid (one-shot form of a session sweep)."""
+    session = SimulationSession(config=config, engine=engine, obs=obs)
+    return session.sweep(workloads, options, progress=progress)

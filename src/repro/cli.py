@@ -25,6 +25,11 @@ Subcommands:
   conformance) over source trees; exits 1 on any non-suppressed error,
   which is how CI gates on it.
 
+The simulation subcommands (``simulate``, ``compare``, ``suite``,
+``trace``) take ``--engine {reference,fast}`` to select the per-access
+reference engine or the batched fast path; results are bit-identical and
+unsupported configurations fall back to reference.
+
 Global flags (accepted before or after the subcommand):
 
 - ``--log-level {debug,info,warning,error}`` — stdlib-logging verbosity
@@ -43,6 +48,7 @@ from pathlib import Path
 from repro.experiments import figures
 from repro.experiments.runner import run_cell, run_grid, run_workload
 from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import ENGINES
 from repro.obs import (
     LOG_LEVELS,
     NULL_OBS,
@@ -94,6 +100,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--block-size", type=int, default=64)
     parser.add_argument("--btb-entries", type=int, default=4096)
     parser.add_argument("--btb-assoc", type=int, default=4)
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="reference",
+        help="simulation engine: the per-access reference engine or the "
+             "batched fast path (bit-identical; unsupported configurations "
+             "fall back to reference)",
+    )
 
 
 def _add_global_arguments(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
@@ -159,12 +174,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.frontend.engine import build_frontend
 
-        frontend = build_frontend(config, obs=obs)
+        frontend = build_frontend(config, obs=obs, engine=args.engine)
         with obs.span("simulate"):
             result = frontend.run(read_trace(args.trace), warmup_instructions=args.warmup)
     else:
         workload = _workload_from(args)
-        result = run_workload(workload, config, obs=obs)
+        result = run_workload(workload, config, obs=obs, engine=args.engine)
     print(result.summary_line())
     _write_metrics(args, obs)
     return 0
@@ -173,7 +188,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload_from(args)
     obs = _obs_from(args)
-    grid = run_grid([workload], list(args.policies), _config_from(args, "lru"), obs=obs)
+    grid = run_grid(
+        [workload], list(args.policies), _config_from(args, "lru"),
+        obs=obs, engine=args.engine,
+    )
     print(grid.icache.render(reference="lru"))
     print()
     print(grid.btb.render(reference="lru"))
@@ -186,7 +204,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
     progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
     grid = run_grid(
-        suite, list(args.policies), _config_from(args, "lru"), progress=progress, obs=obs
+        suite, list(args.policies), _config_from(args, "lru"),
+        progress=progress, obs=obs, engine=args.engine,
     )
     print(figures.headline_numbers(grid).render())
     _write_metrics(args, obs)
@@ -336,7 +355,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         max_events=args.max_events,
     ) as tracer:
         obs = Observability(tracer=tracer)
-        cell = run_cell(workload, args.policy, config, obs=obs)
+        cell = run_cell(workload, args.policy, config, obs=obs, engine=args.engine)
     print(
         f"{cell.workload} / {cell.policy}: icache_mpki={cell.icache_mpki:.3f} "
         f"btb_mpki={cell.btb_mpki:.3f} instructions={cell.instructions}"
@@ -412,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = add_subcommand("simulate", "run one workload under one policy")
     _add_workload_arguments(simulate)
     _add_config_arguments(simulate)
+    _add_engine_argument(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="ghrp")
     simulate.add_argument("--warmup", type=int, default=100_000)
     simulate.set_defaults(func=_cmd_simulate)
@@ -419,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = add_subcommand("compare", "compare policies on one workload")
     _add_workload_arguments(compare)
     _add_config_arguments(compare)
+    _add_engine_argument(compare)
     compare.add_argument(
         "--policies", nargs="+", default=list(figures.PAPER_POLICIES),
         choices=available_policies(),
@@ -433,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_policies(),
     )
     _add_config_arguments(suite)
+    _add_engine_argument(suite)
     suite.set_defaults(func=_cmd_suite)
 
     timing = add_subcommand("timing", "cycle-approximate CPI for one workload")
@@ -498,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(trace)
     _add_config_arguments(trace)
+    _add_engine_argument(trace)
     trace.add_argument("--policy", choices=available_policies(), default="ghrp")
     trace.add_argument("--out", default="trace-events.jsonl",
                        help="event JSONL output path")

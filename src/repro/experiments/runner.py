@@ -220,10 +220,15 @@ def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
     )
 
 
-def run_workload(workload: Workload, config: FrontEndConfig, obs: Observability = NULL_OBS):
+def run_workload(
+    workload: Workload,
+    config: FrontEndConfig,
+    obs: Observability = NULL_OBS,
+    engine: str = "reference",
+):
     """Simulate one workload under ``config``; returns SimulationResult."""
     with obs.span("setup"):
-        frontend = build_frontend(config, obs=obs)
+        frontend = build_frontend(config, obs=obs, engine=engine)
         warmup = _warmup_for(workload, config)
     with obs.span("simulate"):
         return frontend.run(
@@ -238,6 +243,7 @@ def run_cell(
     policy: str,
     config: FrontEndConfig,
     obs: Observability = NULL_OBS,
+    engine: str = "reference",
 ) -> CellResult:
     """Simulate one (policy, workload) cell with fresh front-end state."""
     cell_config = config.with_overrides(icache_policy=policy, btb_policy=policy)
@@ -248,7 +254,7 @@ def run_cell(
     # of the simulation time so MPKI/s throughput numbers stay honest.
     setup_started = time.perf_counter()
     with obs.span("setup"):
-        frontend = build_frontend(cell_config, obs=obs)
+        frontend = build_frontend(cell_config, obs=obs, engine=engine)
         warmup = _warmup_for(workload, cell_config)
     setup_seconds = time.perf_counter() - setup_started
 
@@ -288,13 +294,14 @@ def run_grid(
     config: FrontEndConfig | None = None,
     progress: Callable[[CellResult], None] | None = None,
     obs: Observability = NULL_OBS,
+    engine: str = "reference",
 ) -> GridResult:
     """Run every (policy, workload) cell; optionally report progress."""
     config = config or FrontEndConfig()
     grid = GridResult()
     for workload in workloads:
         for policy in policies:
-            cell = run_cell(workload, policy, config, obs=obs)
+            cell = run_cell(workload, policy, config, obs=obs, engine=engine)
             grid.add(cell)
             if progress is not None:
                 progress(cell)

@@ -18,6 +18,7 @@ wrong-path flag and see the same access stream.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from repro.branch.base import BranchDirectionPredictor
@@ -30,8 +31,9 @@ from repro.cache.set_assoc import SetAssociativeCache
 from repro.core.ghrp import GHRPPredictor
 from repro.branch.indirect import IndirectTargetPredictor
 from repro.frontend.config import FrontEndConfig
+from repro.frontend.options import RunOptions, resolve_run_options
 from repro.frontend.results import SimulationResult
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, get_logger
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.engine import PrefetchingICache
 from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
@@ -39,7 +41,10 @@ from repro.policies.registry import make_policy
 from repro.traces.record import BranchRecord, BranchType
 from repro.traces.reconstruct import FetchBlockStream
 
-__all__ = ["FrontEnd", "build_frontend"]
+__all__ = ["FrontEnd", "build_frontend", "build_policies"]
+
+ENGINES = ("reference", "fast")
+"""Engine choices: the reference event-driven path and the batched kernel."""
 
 
 class FrontEnd:
@@ -139,10 +144,35 @@ class FrontEnd:
     def run(
         self,
         records: Iterable[BranchRecord],
-        warmup_instructions: int = 0,
+        options: RunOptions | None = None,
+        *,
+        warmup_instructions: int | None = None,
         max_instructions: int | None = None,
     ) -> SimulationResult:
-        """Simulate ``records``; return post-warm-up and total statistics."""
+        """Simulate ``records``; return post-warm-up and total statistics.
+
+        ``options`` is the one supported way to parameterize a run; the
+        ``warmup_instructions``/``max_instructions`` keywords are retained
+        as a deprecated spelling for one release.
+        """
+        if isinstance(options, int):
+            # Legacy positional call: run(records, warmup_instructions).
+            warnings.warn(
+                "FrontEnd.run(records, warmup) is deprecated; pass "
+                "options=RunOptions(warmup_instructions=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(
+                warmup_instructions=options,
+                max_instructions=max_instructions,
+            )
+        else:
+            options = resolve_run_options(
+                options, warmup_instructions, max_instructions
+            )
+        warmup_boundary = options.warmup_instructions
+        instruction_limit = options.max_instructions
         icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
         icache_port = self._icache_port
         indirect = self.indirect
@@ -189,7 +219,7 @@ class FrontEnd:
                 self._simulate_wrong_path(wrong_next)
 
             # Warm-up boundary: first crossing snapshots both structures.
-            if icache_warm is None and stream.instructions_seen >= warmup_instructions:
+            if icache_warm is None and stream.instructions_seen >= warmup_boundary:
                 icache.stats.instructions = stream.instructions_seen
                 btb.stats.instructions = stream.instructions_seen
                 icache_warm = icache.stats.snapshot()
@@ -207,7 +237,7 @@ class FrontEnd:
                     )
                     self._emit_table_saturation(phase="warmup")
 
-            if max_instructions is not None and stream.instructions_seen >= max_instructions:
+            if instruction_limit is not None and stream.instructions_seen >= instruction_limit:
                 break
 
         obs.finish_span(phase_span)
@@ -247,19 +277,19 @@ class FrontEnd:
     def run_with_config_warmup(
         self, records: Iterable[BranchRecord], config: FrontEndConfig, total_instructions_hint: int
     ) -> SimulationResult:
-        """Run applying the paper's warm-up rule (half trace, capped)."""
-        warmup = min(
-            int(total_instructions_hint * config.warmup_fraction),
-            config.warmup_cap_instructions,
+        """Deprecated: use ``run(records, RunOptions.from_config_warmup(...))``."""
+        warnings.warn(
+            "FrontEnd.run_with_config_warmup is deprecated; use "
+            "run(records, options=RunOptions.from_config_warmup(config, hint))",
+            DeprecationWarning,
+            stacklevel=2,
         )
         return self.run(
-            records,
-            warmup_instructions=warmup,
-            max_instructions=config.max_instructions,
+            records, RunOptions.from_config_warmup(config, total_instructions_hint)
         )
 
 
-def _build_policies(
+def build_policies(
     config: FrontEndConfig,
 ) -> tuple[ReplacementPolicy, ReplacementPolicy, GHRPPredictor | None]:
     """Construct the I-cache and BTB policies, wiring GHRP sharing.
@@ -267,6 +297,10 @@ def _build_policies(
     When both structures use GHRP, they share one predictor and the BTB
     policy is coupled to the I-cache policy's metadata (Section III-E).
     A GHRP BTB without a GHRP I-cache runs in standalone mode.
+
+    This is the single source of truth for policy construction: the
+    facade (:func:`repro.api.build_policies`), the examples, and
+    :func:`build_frontend` all route through it.
     """
     icache_name = config.icache_policy
     btb_name = config.effective_btb_policy
@@ -293,17 +327,40 @@ def _build_policies(
     return icache_policy, btb_policy, ghrp
 
 
+def _build_policies(
+    config: FrontEndConfig,
+) -> tuple[ReplacementPolicy, ReplacementPolicy, GHRPPredictor | None]:
+    """Deprecated private alias of :func:`build_policies`."""
+    warnings.warn(
+        "repro.frontend.engine._build_policies is deprecated; use "
+        "build_policies (or repro.api.build_policies)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_policies(config)
+
+
 def build_frontend(
-    config: FrontEndConfig | None = None, obs: Observability = NULL_OBS
+    config: FrontEndConfig | None = None,
+    obs: Observability = NULL_OBS,
+    engine: str = "reference",
 ) -> FrontEnd:
     """Construct a complete front end from a configuration.
 
     ``obs`` is shared by the I-cache (scope ``icache``), the BTB (scope
     ``btb``), and the engine itself; the default no-op instance keeps
     results bit-identical to an uninstrumented build.
+
+    ``engine`` selects the simulation path: ``"reference"`` is the
+    event-driven engine above; ``"fast"`` requests the batched kernel
+    (:mod:`repro.kernel`), which is bit-identical but only available when
+    every configured policy opts in — otherwise this transparently falls
+    back to the reference engine.
     """
     config = config or FrontEndConfig()
-    icache_policy, btb_policy, ghrp = _build_policies(config)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    icache_policy, btb_policy, ghrp = build_policies(config)
     geometry = CacheGeometry.from_capacity(
         config.icache_bytes, config.icache_assoc, config.block_size
     )
@@ -333,7 +390,7 @@ def build_frontend(
 
         prefetcher = StreamPrefetcher(block_size=config.block_size)
     indirect = IndirectTargetPredictor() if config.indirect_predictor else None
-    return FrontEnd(
+    parts = dict(
         icache=icache,
         btb=btb,
         direction=direction,
@@ -344,3 +401,15 @@ def build_frontend(
         indirect=indirect,
         obs=obs,
     )
+    if engine == "fast":
+        from repro.kernel.engine import FastFrontEnd, fast_path_unsupported_reason
+
+        reason = fast_path_unsupported_reason(
+            icache=icache, btb=btb, prefetcher=prefetcher
+        )
+        if reason is None:
+            return FastFrontEnd(**parts)
+        get_logger("frontend").debug(
+            "fast engine unavailable (%s); using the reference engine", reason
+        )
+    return FrontEnd(**parts)

@@ -1,0 +1,88 @@
+"""Run options for the front-end engines.
+
+:class:`RunOptions` replaces the positional-argument spread of the original
+``FrontEnd.run(records, warmup_instructions, max_instructions)`` signature
+with one keyword-only dataclass, shared by the reference engine, the
+batched fast-path engine (:mod:`repro.kernel.engine`), and the public
+facade (:mod:`repro.api`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.frontend.config import FrontEndConfig
+
+__all__ = ["RunOptions"]
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RunOptions:
+    """How to run one simulation over a branch-record stream.
+
+    Attributes
+    ----------
+    warmup_instructions:
+        Statistics are reported for the region after this many
+        (reconstructed) instructions; the paper warms structures on the
+        first half of each trace.
+    max_instructions:
+        Stop after this many instructions (None = run the whole trace).
+    """
+
+    warmup_instructions: int = 0
+    max_instructions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.warmup_instructions < 0:
+            raise ValueError(
+                f"warmup_instructions must be >= 0, got {self.warmup_instructions}"
+            )
+        if self.max_instructions is not None and self.max_instructions <= 0:
+            raise ValueError(
+                f"max_instructions must be positive, got {self.max_instructions}"
+            )
+
+    @classmethod
+    def from_config_warmup(
+        cls, config: "FrontEndConfig", total_instructions_hint: int
+    ) -> "RunOptions":
+        """The paper's warm-up rule: half the trace, capped.
+
+        This is what ``FrontEnd.run_with_config_warmup`` used to compute
+        inline; it now lives on the options type so every engine and the
+        facade share one implementation.
+        """
+        warmup = min(
+            int(total_instructions_hint * config.warmup_fraction),
+            config.warmup_cap_instructions,
+        )
+        return cls(
+            warmup_instructions=warmup, max_instructions=config.max_instructions
+        )
+
+
+def resolve_run_options(
+    options: "RunOptions | None",
+    warmup_instructions: int | None,
+    max_instructions: int | None,
+) -> "RunOptions":
+    """Merge the new ``options`` object with legacy keyword arguments.
+
+    Passing both forms at once is an error; passing neither yields the
+    defaults.  Shared by the reference and fast engines so their ``run``
+    signatures stay in lockstep.
+    """
+    if options is not None:
+        if warmup_instructions is not None or max_instructions is not None:
+            raise TypeError(
+                "pass either options=RunOptions(...) or the legacy "
+                "warmup_instructions/max_instructions keywords, not both"
+            )
+        return options
+    return RunOptions(
+        warmup_instructions=warmup_instructions or 0,
+        max_instructions=max_instructions,
+    )

@@ -1,0 +1,55 @@
+"""The batched fast-path simulation kernel.
+
+This package is a *semantic twin* of the reference simulation stack
+(:mod:`repro.cache.set_assoc` + :mod:`repro.policies` +
+:mod:`repro.frontend.engine`), flattened for throughput:
+
+- one :class:`~repro.kernel.base.CacheKernel` fuses the cache engine and
+  its replacement policy into a single ``access(block, pc)`` call — no
+  ``AccessContext``/``AccessResult`` allocation, no virtual dispatch per
+  policy event;
+- per-set metadata (tags, signatures, prediction bits, recency) is
+  **aliased**, not copied: kernels mutate the reference objects' own state
+  lists in place, so mid-run introspection (``probe``, telemetry) and
+  end-of-run state comparisons see exactly the reference layout;
+- signature hashing goes through the memo table of
+  :class:`repro.util.hashing.SkewedIndexTable`, shared with the reference
+  :class:`~repro.core.tables.PredictionTableBank`;
+- scalar state (path histories, statistic counters, telemetry) is kept in
+  kernel-local integers and flushed back at synchronization points (the
+  warm-up boundary and end of run).
+
+Every kernel is registered against the *exact* policy class it replays
+(:func:`~repro.kernel.base.register_kernel`); policies without a kernel —
+or with ``supports_fast_path = False`` — transparently fall back to the
+reference engine.  The differential suite
+(``tests/test_kernel_differential.py``) pins the two paths bit-identical:
+same hit/miss/eviction/bypass counts, same predictor-table contents, same
+per-block metadata.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.base import (
+    BTBKernel,
+    CacheKernel,
+    KernelContext,
+    kernel_class_for,
+    register_kernel,
+    registered_kernels,
+)
+from repro.kernel.engine import FastFrontEnd, fast_path_unsupported_reason
+
+# Importing the kernel modules registers their kernels.
+from repro.kernel import direction, ghrp, lru, sdbp  # noqa: E402,F401  (registration side effects)
+
+__all__ = [
+    "BTBKernel",
+    "CacheKernel",
+    "FastFrontEnd",
+    "KernelContext",
+    "fast_path_unsupported_reason",
+    "kernel_class_for",
+    "register_kernel",
+    "registered_kernels",
+]

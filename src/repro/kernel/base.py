@@ -1,0 +1,259 @@
+"""Kernel registry and the base cache/BTB kernels.
+
+A *kernel* replays one replacement policy's event protocol (hit / bypass /
+victim / evict / fill) against the reference cache's own state arrays,
+inlined into a single ``access`` call.  Registration is by **exact** policy
+class: a subclass with different semantics (e.g. MRU subclassing LRU) must
+register its own kernel or fall back to the reference engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cache.set_assoc import _INVALID_TAG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.btb.btb import BranchTargetBuffer
+    from repro.cache.policy_api import ReplacementPolicy
+    from repro.cache.set_assoc import SetAssociativeCache
+    from repro.core.ghrp import GHRPPredictor
+
+__all__ = [
+    "HIT",
+    "FILL",
+    "BYPASS",
+    "CacheKernel",
+    "BTBKernel",
+    "KernelContext",
+    "register_kernel",
+    "kernel_class_for",
+    "registered_kernels",
+]
+
+# access() return codes (int compares are cheaper than enum members).
+HIT = 1
+FILL = 0
+BYPASS = -1
+
+_KERNELS: dict[type, type["CacheKernel"]] = {}
+
+
+def register_kernel(policy_cls: type):
+    """Class decorator registering a kernel for one exact policy class."""
+
+    def decorate(kernel_cls: type["CacheKernel"]) -> type["CacheKernel"]:
+        if policy_cls in _KERNELS:
+            raise ValueError(
+                f"policy {policy_cls.__name__} already has a kernel "
+                f"({_KERNELS[policy_cls].__name__})"
+            )
+        _KERNELS[policy_cls] = kernel_cls
+        kernel_cls.policy_class = policy_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_class_for(policy: "ReplacementPolicy") -> type["CacheKernel"] | None:
+    """The kernel registered for ``policy``'s exact class, or None.
+
+    Deliberately not subclass-aware: a policy subclass may override any
+    event callback, which would silently diverge from the parent's kernel.
+    """
+    return _KERNELS.get(type(policy))
+
+
+def registered_kernels() -> dict[type, type["CacheKernel"]]:
+    """A copy of the policy-class → kernel-class registry."""
+    return dict(_KERNELS)
+
+
+class KernelContext:
+    """Build-time state shared between the kernels of one front end.
+
+    Its one job today is deduplicating GHRP scalar state: when the I-cache
+    and BTB policies share a :class:`~repro.core.ghrp.GHRPPredictor`
+    (Section III-E), both kernels must read and advance the *same* path
+    history, so they share one ``GHRPKernelState``.
+    """
+
+    def __init__(self) -> None:
+        # (predictor, state) pairs, matched by identity.  A front end has
+        # at most two predictors, so a linear scan beats any keyed lookup
+        # (and id()-keyed dicts are banned by the determinism lint).
+        self._ghrp_states: list[tuple[object, object]] = []
+
+    def ghrp_state(self, predictor: "GHRPPredictor"):
+        from repro.kernel.ghrp import GHRPKernelState
+
+        for known, state in self._ghrp_states:
+            if known is predictor:
+                return state
+        state = GHRPKernelState(predictor)
+        self._ghrp_states.append((predictor, state))
+        return state
+
+    def reload(self) -> None:
+        for _, state in self._ghrp_states:
+            state.reload()
+
+    def sync(self) -> None:
+        for _, state in self._ghrp_states:
+            state.sync()
+
+    def recover_history_for(self, predictor: "GHRPPredictor") -> bool:
+        """Squash wrong-path history on the kernel state of ``predictor``.
+
+        Returns False when no kernel aliases that predictor (the caller
+        must then recover the reference object directly).
+        """
+        for known, state in self._ghrp_states:
+            if known is predictor:
+                state.recover()
+                return True
+        return False
+
+
+class CacheKernel(abc.ABC):
+    """Flattened twin of one ``SetAssociativeCache`` + its policy.
+
+    ``access(block, pc)`` takes a **block-aligned** address (callers align;
+    the fetch stream and the BTB wrapper already produce aligned blocks)
+    and returns :data:`HIT`, :data:`FILL`, or :data:`BYPASS`, leaving the
+    touched set/way in :attr:`set_index`/:attr:`way` for wrappers (the BTB)
+    that keep side arrays.
+
+    Statistic counters accumulate in kernel-local deltas; :meth:`sync`
+    flushes them into the reference ``CacheStats`` and is idempotent, so
+    engines may sync mid-run (warm-up boundary) and again at the end.
+    """
+
+    #: Matching reference policy class, set by ``register_kernel``.
+    policy_class: ClassVar[type | None] = None
+
+    def __init__(self, cache: "SetAssociativeCache"):
+        self.cache = cache
+        self._tags = cache._tags  # aliased per-set rows
+        self._offset_bits = cache._offset_bits
+        self._index_mask = cache._index_mask
+        self._tag_shift = cache._tag_shift
+        obs = cache.obs
+        self.obs = obs
+        self._obs_on = obs.enabled
+        scope = cache.obs_scope
+        self.scope = scope
+        self._m_hits = scope + ".hits"
+        self._m_misses = scope + ".misses"
+        self._m_bypasses = scope + ".bypasses"
+        self._m_evictions = scope + ".evictions"
+        self._m_dead_evictions = scope + ".dead_evictions"
+        self._d_hits = 0
+        self._d_misses = 0
+        self._d_bypasses = 0
+        self._d_evictions = 0
+        self._d_dead_evictions = 0
+        # Outcome of the most recent access().
+        self.set_index = 0
+        self.way: int | None = None
+        # Raised by the engine while fetching down a mispredicted path;
+        # only wrong-path-aware kernels (GHRP) read it.
+        self.wrong_path = False
+
+    @classmethod
+    def build(
+        cls, cache: "SetAssociativeCache", policy, context: KernelContext
+    ) -> "CacheKernel":
+        """Construct a kernel; override to pull shared state from ``context``."""
+        return cls(cache, policy)
+
+    @abc.abstractmethod
+    def access(self, block: int, pc: int) -> int:
+        """One demand access to the aligned ``block`` driven by ``pc``."""
+
+    def reload(self) -> None:
+        """Re-capture scalar state from the reference objects (run start)."""
+        self.wrong_path = False
+
+    def sync(self) -> None:
+        """Flush statistic deltas into the reference cache's counters."""
+        stats = self.cache.stats
+        hits = self._d_hits
+        misses = self._d_misses
+        stats.accesses += hits + misses
+        stats.hits += hits
+        stats.misses += misses
+        stats.bypasses += self._d_bypasses
+        stats.evictions += self._d_evictions
+        stats.dead_evictions += self._d_dead_evictions
+        # The reference engine ticks ``now`` once per access.
+        self.cache.now += hits + misses
+        self._d_hits = 0
+        self._d_misses = 0
+        self._d_bypasses = 0
+        self._d_evictions = 0
+        self._d_dead_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Shared slow-path helpers (miss path only)
+    # ------------------------------------------------------------------
+    def _find_invalid_way(self, row: list[int]) -> int:
+        """First invalid way of ``row``, or -1 when the set is full."""
+        try:
+            return row.index(_INVALID_TAG)
+        except ValueError:
+            return -1
+
+    def _victim_address(self, row: list[int], set_index: int, way: int) -> int:
+        return (row[way] << self._tag_shift) | (set_index << self._offset_bits)
+
+
+class BTBKernel:
+    """Fast-path twin of :class:`~repro.btb.btb.BranchTargetBuffer`.
+
+    Wraps the inner cache kernel (which replays the BTB's replacement
+    policy) and adds the per-way target array plus target-misprediction
+    accounting.  ``access`` returns True exactly when the reference
+    ``BTBResult`` would have ``hit and not target_correct`` — the only bit
+    the front end consumes.
+    """
+
+    __slots__ = ("btb", "inner", "_targets", "_block_mask", "_d_target_mispredictions", "obs", "_obs_on")
+
+    def __init__(self, btb: "BranchTargetBuffer", inner: CacheKernel):
+        self.btb = btb
+        self.inner = inner
+        self._targets = btb._targets  # aliased per-set rows
+        self._block_mask = ~(btb.geometry.block_size - 1)
+        self._d_target_mispredictions = 0
+        self.obs = btb.obs
+        self._obs_on = btb.obs.enabled
+
+    def access(self, pc: int, target: int) -> bool:
+        inner = self.inner
+        status = inner.access(pc & self._block_mask, pc)
+        if status == HIT:
+            row = self._targets[inner.set_index]
+            way = inner.way
+            stored = row[way]
+            if stored != target:
+                self._d_target_mispredictions += 1
+                row[way] = target
+                if self._obs_on:
+                    self.obs.inc("btb.target_mispredictions")
+                    self.obs.event(
+                        "btb_target_update", pc=pc, stale_target=stored, target=target
+                    )
+                return True
+        elif status == FILL:
+            self._targets[inner.set_index][inner.way] = target
+        return False
+
+    def reload(self) -> None:
+        self.inner.reload()
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self.btb.target_mispredictions += self._d_target_mispredictions
+        self._d_target_mispredictions = 0

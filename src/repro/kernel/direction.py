@@ -1,0 +1,138 @@
+"""Fast-path kernel for the hashed perceptron direction predictor.
+
+Fuses ``predict`` + stats + ``update`` into one call with the splitmix64
+mixer inlined and per-segment history masks precomputed.  Weight tables
+are aliased; only the history registers, the prediction-cache scalars, and
+the accuracy counters are kernel-local, flushed by :meth:`sync`.
+"""
+
+from __future__ import annotations
+
+from repro.branch.perceptron import HashedPerceptronPredictor
+from repro.util.bits import mask
+
+__all__ = ["HashedPerceptronKernel"]
+
+_U64 = (1 << 64) - 1
+_SPLITMIX_INC = 0x9E3779B97F4A7C15
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
+
+
+class HashedPerceptronKernel:
+    """One-call predict-and-update over aliased weight tables."""
+
+    __slots__ = (
+        "predictor",
+        "_weights",
+        "_entries_mask",
+        "_num_tables",
+        "_theta",
+        "_weight_min",
+        "_weight_max",
+        "_history_mask",
+        "_path_mask",
+        "_segment_params",
+        "_outcome_history",
+        "_path_history",
+        "_last_sum",
+        "_indices",
+        "_d_predictions",
+        "_d_mispredictions",
+    )
+
+    def __init__(self, predictor: HashedPerceptronPredictor):
+        self.predictor = predictor
+        self._weights = list(predictor._weights)  # outer copy, rows aliased
+        self._entries_mask = predictor._entries_mask
+        self._num_tables = predictor.num_tables
+        self._theta = predictor.theta
+        self._weight_min = predictor._weight_min
+        self._weight_max = predictor._weight_max
+        self._history_mask = mask(predictor.history_bits)
+        self._path_mask = mask(predictor.path_bits)
+        path_bits = predictor.path_bits
+        # (tweak, outcome-segment mask, path-segment mask) per history table.
+        self._segment_params = tuple(
+            (end, mask(end), mask(min(end, path_bits)))
+            for end in predictor._segments
+        )
+        self._outcome_history = predictor._outcome_history
+        self._path_history = predictor._path_history
+        self._last_sum = predictor._last_sum
+        self._indices = [0] * predictor.num_tables
+        self._d_predictions = 0
+        self._d_mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        pc_hash = (pc >> 2) & 0x3FFFFFFF
+        entries_mask = self._entries_mask
+        outcome_history = self._outcome_history
+        path_history = self._path_history
+        weights = self._weights
+        indices = self._indices
+
+        index = pc_hash & entries_mask  # bias table
+        indices[0] = index
+        total = weights[0][index]
+        t = 1
+        for end, outcome_mask, path_mask in self._segment_params:
+            # mix64(outcome_segment ^ (path_segment << 1), tweak=end), inlined.
+            value = (
+                (outcome_history & outcome_mask)
+                ^ ((path_history & path_mask) << 1)
+                ^ end
+            ) & _U64
+            value = (value + _SPLITMIX_INC) & _U64
+            value = ((value ^ (value >> 30)) * _MIX_MULT_1) & _U64
+            value = ((value ^ (value >> 27)) * _MIX_MULT_2) & _U64
+            index = ((value ^ (value >> 31)) ^ pc_hash) & entries_mask
+            indices[t] = index
+            total += weights[t][index]
+            t += 1
+
+        prediction = total >= 0
+        self._last_sum = total
+        self._d_predictions += 1
+        if prediction != taken:
+            self._d_mispredictions += 1
+            train = True
+        else:
+            train = -self._theta <= total <= self._theta
+        if train:
+            delta = 1 if taken else -1
+            weight_min = self._weight_min
+            weight_max = self._weight_max
+            for t in range(self._num_tables):
+                row = weights[t]
+                index = indices[t]
+                weight = row[index] + delta
+                if weight > weight_max:
+                    weight = weight_max
+                elif weight < weight_min:
+                    weight = weight_min
+                row[index] = weight
+        self._outcome_history = (
+            (outcome_history << 1) | (1 if taken else 0)
+        ) & self._history_mask
+        self._path_history = ((path_history << 4) | ((pc >> 2) & 0xF)) & self._path_mask
+        return prediction
+
+    def reload(self) -> None:
+        predictor = self.predictor
+        self._outcome_history = predictor._outcome_history
+        self._path_history = predictor._path_history
+        self._last_sum = predictor._last_sum
+
+    def sync(self) -> None:
+        predictor = self.predictor
+        predictor._outcome_history = self._outcome_history
+        predictor._path_history = self._path_history
+        predictor._last_sum = self._last_sum
+        # update() leaves the prediction cache cleared after every branch.
+        predictor._last_indices = None
+        stats = predictor.stats
+        stats.predictions += self._d_predictions
+        stats.mispredictions += self._d_mispredictions
+        self._d_predictions = 0
+        self._d_mispredictions = 0

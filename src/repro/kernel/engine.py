@@ -1,0 +1,300 @@
+"""The batched front-end engine.
+
+:class:`FastFrontEnd` subclasses the reference :class:`~repro.frontend.
+engine.FrontEnd` — same constructor, same ``run`` signature, same
+``SimulationResult`` — but replaces the per-access call chain with cache
+kernels and inlines the fetch-stream reconstruction into the main loop.
+Every simulation decision is replicated exactly (the differential suite
+asserts bit-identical statistics *and* internal state), including the
+warm-up boundary, wrong-path episodes, and the observability events the
+reference engine emits.
+
+The fast path is all-or-nothing per front end: both the I-cache and BTB
+policies must have registered kernels, and features that are not
+kernelized (prefetching, cache-efficiency tracking) force the reference
+engine.  :func:`fast_path_unsupported_reason` is the single gate,
+consulted by :func:`repro.frontend.engine.build_frontend`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterable
+
+from repro.branch.perceptron import HashedPerceptronPredictor
+from repro.frontend.engine import FrontEnd
+from repro.frontend.options import RunOptions, resolve_run_options
+from repro.frontend.results import SimulationResult
+from repro.kernel.base import BTBKernel, KernelContext, kernel_class_for
+from repro.kernel.direction import HashedPerceptronKernel
+from repro.policies.ghrp_policy import GHRPBTBPolicy
+from repro.traces.record import BranchRecord, BranchType
+from repro.traces.reconstruct import _MAX_SEQUENTIAL_GAP
+
+__all__ = ["FastFrontEnd", "fast_path_unsupported_reason"]
+
+
+def fast_path_unsupported_reason(icache, btb, prefetcher) -> str | None:
+    """Why this configuration cannot run on the batched kernel (None = it can).
+
+    The fast path requires every policy to opt in (``supports_fast_path``)
+    *and* have a registered kernel for its exact class; prefetching and
+    efficiency tracking are reference-only features.
+    """
+    if prefetcher is not None:
+        return "prefetching is not kernelized"
+    if icache.efficiency is not None or btb.efficiency is not None:
+        return "efficiency tracking requires the reference engine"
+    for label, policy in (("icache", icache.policy), ("btb", btb.policy)):
+        if not policy.supports_fast_path or kernel_class_for(policy) is None:
+            return f"{label} policy {policy.name!r} has no fast-path kernel"
+    btb_policy = btb.policy
+    if (
+        isinstance(btb_policy, GHRPBTBPolicy)
+        and btb_policy.icache_policy is not None
+        and btb_policy.icache_policy.attached_cache is None
+    ):
+        return "coupled GHRP BTB policy's I-cache policy is not attached"
+    return None
+
+
+class FastFrontEnd(FrontEnd):
+    """The reference front end with kernels fused into the hot loop."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        reason = fast_path_unsupported_reason(
+            icache=self.icache, btb=self.btb, prefetcher=self.prefetcher
+        )
+        if reason is not None:
+            raise ValueError(f"fast engine unsupported: {reason}")
+        context = KernelContext()
+        self._context = context
+        icache_policy = self.icache.policy
+        self._icache_kernel = kernel_class_for(icache_policy).build(
+            self.icache, icache_policy, context
+        )
+        btb_cache = self.btb._cache
+        inner = kernel_class_for(btb_cache.policy).build(
+            btb_cache, btb_cache.policy, context
+        )
+        self._btb_kernel = BTBKernel(self.btb, inner)
+        # Only the exact stock predictor class is kernelized; subclasses or
+        # other predictors run through their reference objects (still fast
+        # enough — the cache path dominates).
+        self._direction_kernel = (
+            HashedPerceptronKernel(self.direction)
+            if type(self.direction) is HashedPerceptronPredictor
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel synchronization
+    # ------------------------------------------------------------------
+    def _reload_kernels(self) -> None:
+        self._icache_kernel.reload()
+        self._btb_kernel.reload()
+        if self._direction_kernel is not None:
+            self._direction_kernel.reload()
+        self._context.reload()
+
+    def _sync_kernels(self) -> None:
+        self._icache_kernel.sync()
+        self._btb_kernel.sync()
+        if self._direction_kernel is not None:
+            self._direction_kernel.sync()
+        self._context.sync()
+
+    # ------------------------------------------------------------------
+    # Wrong-path speculation (kernelized)
+    # ------------------------------------------------------------------
+    def _simulate_wrong_path(self, wrong_next_pc: int) -> None:
+        obs = self.obs
+        depth = self.wrong_path_depth
+        if obs.enabled:
+            obs.inc("frontend.wrong_path_episodes")
+            obs.event("wrong_path_enter", pc=wrong_next_pc, depth=depth)
+        kernel = self._icache_kernel
+        kernel.wrong_path = True
+        block_size = self.icache.geometry.block_size
+        block = wrong_next_pc & ~(block_size - 1)
+        access = kernel.access
+        for _ in range(depth):
+            access(block, wrong_next_pc if wrong_next_pc > block else block)
+            block += block_size
+        self.wrong_path_accesses += depth
+        kernel.wrong_path = False
+        if self.ghrp is not None:
+            if not self._context.recover_history_for(self.ghrp):
+                # No kernel aliases this predictor; recover it directly.
+                self.ghrp.recover_history()
+        if obs.enabled:
+            obs.event("wrong_path_exit", accesses=depth)
+            if self.ghrp is not None:
+                obs.inc("frontend.history_recoveries")
+                obs.event("history_recovery", pc=wrong_next_pc)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        records: Iterable[BranchRecord],
+        options: RunOptions | None = None,
+        *,
+        warmup_instructions: int | None = None,
+        max_instructions: int | None = None,
+    ) -> SimulationResult:
+        """Batched twin of :meth:`FrontEnd.run` (same results, same events)."""
+        if isinstance(options, int):
+            warnings.warn(
+                "FrontEnd.run(records, warmup) is deprecated; pass "
+                "options=RunOptions(warmup_instructions=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(
+                warmup_instructions=options, max_instructions=max_instructions
+            )
+        else:
+            options = resolve_run_options(
+                options, warmup_instructions, max_instructions
+            )
+        warmup_boundary = options.warmup_instructions
+        instruction_limit = options.max_instructions
+
+        icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
+        indirect = self.indirect
+        obs = self.obs
+        obs_enabled = obs.enabled
+        self._reload_kernels()
+
+        block_size = icache.geometry.block_size
+        block_mask = ~(block_size - 1)
+        simulate_wrong_path = self.wrong_path_depth > 0
+        max_gap = _MAX_SEQUENTIAL_GAP
+
+        # Bound everything the per-record loop touches.
+        icache_access = self._icache_kernel.access
+        btb_access = self._btb_kernel.access
+        direction_kernel = self._direction_kernel
+        predict_and_update = (
+            direction_kernel.predict_and_update
+            if direction_kernel is not None
+            else direction.predict_and_update
+        )
+        ras_push = ras.push
+        ras_pop_and_check = ras.pop_and_check
+        conditional = BranchType.CONDITIONAL
+        call = BranchType.CALL
+        indirect_call = BranchType.INDIRECT_CALL
+        returns = BranchType.RETURN
+
+        instructions_seen = 0
+        branches_seen = 0
+        next_start = -1  # FetchBlockStream's "no previous branch" sentinel
+        icache_warm = btb_warm = None
+        warmed_at = 0
+        phase_span = obs.start_span("warm-up")
+
+        for record in records:
+            pc = record.pc
+            # --- FetchBlockStream.__next__, inlined ---------------------
+            start = next_start
+            gap = pc - start
+            if start < 0 or gap < 0 or gap > max_gap or gap & 3:
+                start = pc
+                gap = 0
+            instructions_seen += (gap >> 2) + 1
+            branches_seen += 1
+            taken = record.taken
+            target = record.target
+            next_start = target if taken else pc + 4
+
+            # --- one access per touched cache block ---------------------
+            block = start & block_mask
+            last_block = pc & block_mask
+            while True:
+                icache_access(block, start if start > block else block)
+                if block >= last_block:
+                    break
+                block += block_size
+
+            # --- branch handling ----------------------------------------
+            branch_type = record.branch_type
+            mispredicted = False
+            if branch_type is conditional:
+                mispredicted = predict_and_update(pc, taken) != taken
+            elif branch_type is call or branch_type is indirect_call:
+                ras_push(pc + 4)
+            elif branch_type is returns:
+                mispredicted = not ras_pop_and_check(target)
+
+            if indirect is not None:
+                if branch_type.is_indirect:
+                    if not indirect.predict_and_update(pc, target):
+                        mispredicted = True
+                indirect.note_branch(pc, taken)
+
+            if taken and branch_type is not returns:
+                if btb_access(pc, target):
+                    mispredicted = True
+
+            if mispredicted and simulate_wrong_path:
+                self._simulate_wrong_path(pc + 4 if taken else target)
+
+            # --- warm-up boundary / instruction budget ------------------
+            if icache_warm is None and instructions_seen >= warmup_boundary:
+                self._sync_kernels()
+                icache.stats.instructions = instructions_seen
+                btb.stats.instructions = instructions_seen
+                icache_warm = icache.stats.snapshot()
+                btb_warm = btb.stats.snapshot()
+                warmed_at = instructions_seen
+                if obs_enabled:
+                    obs.finish_span(phase_span)
+                    phase_span = obs.start_span("measured")
+                    obs.set_gauge("sim.warmup_instructions", warmed_at)
+                    obs.event(
+                        "warmup_complete",
+                        instructions=warmed_at,
+                        icache_misses=icache_warm.misses,
+                        btb_misses=btb_warm.misses,
+                    )
+                    self._emit_table_saturation(phase="warmup")
+
+            if instruction_limit is not None and instructions_seen >= instruction_limit:
+                break
+
+        obs.finish_span(phase_span)
+        stats_span = obs.start_span("stats-collect")
+        self._sync_kernels()
+        icache.stats.instructions = instructions_seen
+        btb.stats.instructions = instructions_seen
+        if icache_warm is None:
+            icache_warm = type(icache.stats)()
+            btb_warm = type(btb.stats)()
+            warmed_at = 0
+        icache.finalize()
+        btb.finalize()
+        if obs_enabled:
+            obs.set_gauge("sim.instructions", instructions_seen)
+            obs.set_gauge("sim.branches", branches_seen)
+            self._emit_table_saturation(phase="end")
+        obs.finish_span(stats_span)
+
+        return SimulationResult(
+            instructions=instructions_seen,
+            branches=branches_seen,
+            warmup_instructions=warmed_at,
+            icache_total=icache.stats,
+            icache_measured=icache.stats.since(icache_warm),
+            btb_total=btb.stats,
+            btb_measured=btb.stats.since(btb_warm),
+            direction=direction.stats,
+            target_mispredictions=btb.target_mispredictions,
+            ras_underflows=ras.underflows,
+            wrong_path_accesses=self.wrong_path_accesses,
+            prefetch=None,
+            indirect=indirect.stats if indirect is not None else None,
+        )

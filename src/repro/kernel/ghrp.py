@@ -1,0 +1,498 @@
+"""Fast-path kernels for GHRP (Algorithm 1) and its BTB adaptation.
+
+The table counters, the signature→indices memo, and all per-block metadata
+(signatures, prediction bits, recency) are aliased from the reference
+policy/predictor objects and mutated in place; only the path-history
+registers and the training/prediction telemetry live in
+:class:`GHRPKernelState` scalars, flushed by ``sync``.  When the I-cache
+and BTB share one :class:`~repro.core.ghrp.GHRPPredictor` (the paper's
+Section III-E design), both kernels share one state instance via
+:meth:`repro.kernel.base.KernelContext.ghrp_state`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import _INVALID_TAG
+from repro.core.ghrp import GHRPPredictor
+from repro.core.tables import Aggregation
+from repro.kernel.base import BYPASS, FILL, HIT, CacheKernel, KernelContext, register_kernel
+from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
+from repro.util.bits import mask
+from repro.util.hashing import SkewedIndexTable, skewed_indices
+
+__all__ = ["GHRPKernelState", "GHRPCacheKernel", "GHRPBTBKernel"]
+
+
+class GHRPKernelState:
+    """Scalar GHRP state held by kernels during a fast run.
+
+    ``tables`` aliases the bank's counter rows; ``lookup`` aliases the
+    bank's signature→indices memo dict (so both engines populate the same
+    cache).  ``spec``/``retired`` mirror the path-history registers and are
+    written back by :meth:`sync`.
+    """
+
+    __slots__ = (
+        "predictor",
+        "tables",
+        "lookup",
+        "num_tables",
+        "index_bits",
+        "majority",
+        "majority_cut",
+        "sum_threshold",
+        "counter_max",
+        "history_shift",
+        "history_mask",
+        "pc_shift",
+        "pc_mask",
+        "sig_mask",
+        "dead_threshold",
+        "bypass_threshold",
+        "btb_dead_threshold",
+        "btb_bypass_threshold",
+        "spec",
+        "retired",
+        "d_predictions",
+        "d_increments",
+        "d_decrements",
+    )
+
+    def __init__(self, predictor: GHRPPredictor):
+        config = predictor.config
+        bank = predictor.tables
+        self.predictor = predictor
+        self.tables = list(bank._tables)  # outer copy, inner rows aliased
+        index_table = SkewedIndexTable(
+            bank.num_tables, bank.index_bits, cache=bank._index_cache
+        )
+        index_table.precompute(config.signature_bits)
+        self.lookup = index_table.lookup
+        self.num_tables = bank.num_tables
+        self.index_bits = bank.index_bits
+        self.majority = bank.aggregation is Aggregation.MAJORITY
+        self.majority_cut = bank.num_tables // 2
+        self.sum_threshold = bank.sum_threshold
+        self.counter_max = bank.counter_max
+        self.history_shift = config.history_shift
+        self.history_mask = mask(config.history_bits)
+        self.pc_shift = config.pc_shift
+        self.pc_mask = mask(config.pc_bits_per_access)
+        self.sig_mask = mask(config.signature_bits)
+        self.dead_threshold = config.dead_threshold
+        self.bypass_threshold = config.bypass_threshold
+        self.btb_dead_threshold = config.btb_dead_threshold
+        self.btb_bypass_threshold = config.btb_bypass_threshold
+        self.spec = predictor.history.speculative
+        self.retired = predictor.history.retired
+        self.d_predictions = 0
+        self.d_increments = 0
+        self.d_decrements = 0
+
+    # ------------------------------------------------------------------
+    # Flattened predictor operations (PredictionTableBank/PathHistory twins)
+    # ------------------------------------------------------------------
+    def indices(self, signature: int) -> tuple[int, ...]:
+        cached = self.lookup.get(signature)
+        if cached is None:
+            cached = skewed_indices(signature, self.num_tables, self.index_bits)
+            self.lookup[signature] = cached
+        return cached
+
+    def predict(self, signature: int, threshold: int) -> bool:
+        """``tables.predict(...).is_dead`` without the Vote allocation."""
+        self.d_predictions += 1
+        # Direct lookup: precompute() covered the whole signature space.
+        idx = self.lookup[signature]
+        if self.majority:
+            votes = 0
+            for row, index in zip(self.tables, idx):
+                if row[index] >= threshold:
+                    votes += 1
+            return votes > self.majority_cut
+        total = 0
+        for row, index in zip(self.tables, idx):
+            total += row[index]
+        return total >= self.sum_threshold
+
+    def train(self, signature: int, is_dead: bool) -> None:
+        idx = self.lookup[signature]
+        if is_dead:
+            counter_max = self.counter_max
+            for row, index in zip(self.tables, idx):
+                value = row[index]
+                if value < counter_max:
+                    row[index] = value + 1
+            self.d_increments += 1
+        else:
+            for row, index in zip(self.tables, idx):
+                value = row[index]
+                if value > 0:
+                    row[index] = value - 1
+            self.d_decrements += 1
+
+    def note_access(self, pc: int, speculative: bool) -> None:
+        bits = ((pc >> self.pc_shift) & self.pc_mask) << 1
+        shift = self.history_shift
+        history_mask = self.history_mask
+        self.spec = ((self.spec << shift) | bits) & history_mask
+        if not speculative:
+            self.retired = ((self.retired << shift) | bits) & history_mask
+
+    def signature(self, pc: int) -> int:
+        return (self.spec ^ (pc >> self.pc_shift)) & self.sig_mask
+
+    def recover(self) -> None:
+        self.spec = self.retired
+
+    # ------------------------------------------------------------------
+    # Synchronization with the reference objects
+    # ------------------------------------------------------------------
+    def reload(self) -> None:
+        history = self.predictor.history
+        self.spec = history.speculative
+        self.retired = history.retired
+
+    def sync(self) -> None:
+        history = self.predictor.history
+        history.speculative = self.spec
+        history.retired = self.retired
+        bank = self.predictor.tables
+        bank.predictions += self.d_predictions
+        bank.increments += self.d_increments
+        bank.decrements += self.d_decrements
+        self.d_predictions = 0
+        self.d_increments = 0
+        self.d_decrements = 0
+
+
+@register_kernel(GHRPPolicy)
+class GHRPCacheKernel(CacheKernel):
+    """Flattened GHRP I-cache path (Algorithm 1, lines 1-28)."""
+
+    def __init__(self, cache, policy: GHRPPolicy, state: GHRPKernelState):
+        super().__init__(cache)
+        self.policy = policy
+        self.state = state
+        self._signatures = policy._signatures
+        self._pred_dead = policy._pred_dead
+        self._last_use = policy._last_use
+        self._clock = policy._clock
+        self._enable_bypass = policy.enable_bypass
+        self._train_on_wrong_path = policy.train_on_wrong_path
+
+    @classmethod
+    def build(cls, cache, policy, context: KernelContext):
+        return cls(cache, policy, context.ghrp_state(policy.predictor))
+
+    def reload(self) -> None:
+        self.wrong_path = self.policy.wrong_path
+
+    def access(self, block: int, pc: int) -> int:
+        state = self.state
+        set_index = (block >> self._offset_bits) & self._index_mask
+        tag = block >> self._tag_shift
+        row = self._tags[set_index]
+        wrong_path = self.wrong_path
+        may_train = self._train_on_wrong_path or not wrong_path
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            # Reuse (lines 21-28): train live, refresh signature/prediction.
+            signature_row = self._signatures[set_index]
+            old_signature = signature_row[way]
+            if old_signature is not None and may_train:
+                state.train(old_signature, False)
+            new_signature = (state.spec ^ (pc >> state.pc_shift)) & state.sig_mask
+            signature_row[way] = new_signature
+            self._pred_dead[set_index][way] = state.predict(
+                new_signature, state.dead_threshold
+            )
+            clock = self._clock
+            tick = clock[set_index] + 1
+            clock[set_index] = tick
+            self._last_use[set_index][way] = tick
+            state.note_access(pc, wrong_path)
+            self._d_hits += 1
+            self.set_index = set_index
+            self.way = way
+            if self._obs_on:
+                self.obs.inc(self._m_hits)
+            return HIT
+
+        # Miss: bypass vote first (line 13), with the higher threshold.
+        if self._enable_bypass:
+            signature = (state.spec ^ (pc >> state.pc_shift)) & state.sig_mask
+            if state.predict(signature, state.bypass_threshold):
+                state.note_access(pc, wrong_path)
+                self._d_misses += 1
+                self._d_bypasses += 1
+                self.set_index = set_index
+                self.way = None
+                if self._obs_on:
+                    self.obs.inc(self._m_misses)
+                    self.obs.inc(self._m_bypasses)
+                    self.obs.event(
+                        "bypass",
+                        structure=self.scope,
+                        set=set_index,
+                        address=block,
+                        pc=pc,
+                    )
+                return BYPASS
+
+        # Placement: first invalid way, else predicted-dead way, else LRU.
+        try:
+            way = row.index(_INVALID_TAG)
+        except ValueError:
+            dead_bits = self._pred_dead[set_index]
+            try:
+                way = dead_bits.index(True)
+            except ValueError:
+                recency = self._last_use[set_index]
+                way = recency.index(min(recency))
+            predicted_dead = dead_bits[way]
+            self._d_evictions += 1
+            if predicted_dead:
+                self._d_dead_evictions += 1
+            if self._obs_on:
+                self._emit_eviction(set_index, way, row, block, pc, predicted_dead)
+            # Eviction proves the victim dead (on_evict).
+            signature_row = self._signatures[set_index]
+            old_signature = signature_row[way]
+            if old_signature is not None and may_train:
+                state.train(old_signature, True)
+            signature_row[way] = None
+            dead_bits[way] = False
+        row[way] = tag
+        # Fill (lines 18-20): store the signature and its prediction.
+        signature = (state.spec ^ (pc >> state.pc_shift)) & state.sig_mask
+        self._signatures[set_index][way] = signature
+        self._pred_dead[set_index][way] = state.predict(signature, state.dead_threshold)
+        clock = self._clock
+        tick = clock[set_index] + 1
+        clock[set_index] = tick
+        self._last_use[set_index][way] = tick
+        state.note_access(pc, wrong_path)
+        self._d_misses += 1
+        self.set_index = set_index
+        self.way = way
+        if self._obs_on:
+            self.obs.inc(self._m_misses)
+        return FILL
+
+    def _emit_eviction(
+        self,
+        set_index: int,
+        way: int,
+        row: list[int],
+        block: int,
+        pc: int,
+        predicted_dead: bool,
+    ) -> None:
+        """Reference ``_emit_eviction`` + GHRP ``victim_telemetry`` payload."""
+        obs = self.obs
+        obs.inc(self._m_evictions)
+        if predicted_dead:
+            obs.inc(self._m_dead_evictions)
+        recency = self._last_use[set_index]
+        obs.event(
+            "eviction",
+            structure=self.scope,
+            set=set_index,
+            way=way,
+            victim_address=self._victim_address(row, set_index, way),
+            predicted_dead=predicted_dead,
+            incoming_address=block,
+            pc=pc,
+            cause="demand",
+            signature=self._signatures[set_index][way],
+            predicted_dead_vote=self._pred_dead[set_index][way],
+            lru_position=sum(1 for value in recency if value > recency[way]),
+        )
+
+
+@register_kernel(GHRPBTBPolicy)
+class GHRPBTBKernel(CacheKernel):
+    """Flattened GHRP BTB path (Section III-E), coupled or standalone.
+
+    Coupled mode reads the I-cache block's stored signature straight from
+    the aliased I-cache state (the kernels mutate the same rows, so the
+    probe is always coherent) and never trains or advances history.
+    Standalone mode owns per-entry signatures and trains like the I-cache
+    side, with non-speculative history updates (branch PCs only).
+    """
+
+    def __init__(self, cache, policy: GHRPBTBPolicy, state: GHRPKernelState):
+        super().__init__(cache)
+        self.policy = policy
+        self.state = state
+        self._pred_dead = policy._pred_dead
+        self._last_use = policy._last_use
+        self._clock = policy._clock
+        self._enable_bypass = policy.enable_bypass
+        self.standalone = policy.standalone
+        self._signatures = policy._signatures  # empty list in coupled mode
+        icache_policy = policy.icache_policy
+        self._icache_policy = icache_policy
+        if icache_policy is not None:
+            icache = icache_policy.attached_cache
+            self._i_tags = icache._tags
+            self._i_signatures = icache_policy._signatures
+            self._i_offset_bits = icache._offset_bits
+            self._i_index_mask = icache._index_mask
+            self._i_tag_shift = icache._tag_shift
+
+    @classmethod
+    def build(cls, cache, policy, context: KernelContext):
+        return cls(cache, policy, context.ghrp_state(policy.predictor))
+
+    def _signature_for(self, pc: int) -> int:
+        """Reference ``GHRPBTBPolicy._signature_for`` on aliased state."""
+        state = self.state
+        if self._icache_policy is not None:
+            set_index = (pc >> self._i_offset_bits) & self._i_index_mask
+            tag = pc >> self._i_tag_shift
+            row = self._i_tags[set_index]
+            try:
+                way = row.index(tag)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                stored = self._i_signatures[set_index][way]
+                if stored is not None:
+                    return stored
+        return (state.spec ^ (pc >> state.pc_shift)) & state.sig_mask
+
+    def access(self, block: int, pc: int) -> int:
+        state = self.state
+        set_index = (block >> self._offset_bits) & self._index_mask
+        tag = block >> self._tag_shift
+        row = self._tags[set_index]
+        standalone = self.standalone
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            if standalone:
+                signature_row = self._signatures[set_index]
+                old_signature = signature_row[way]
+                if old_signature is not None:
+                    state.train(old_signature, False)
+                # Stored signature uses the pre-update history; the dead
+                # vote below sees the post-update history (reference order).
+                signature_row[way] = (
+                    state.spec ^ (pc >> state.pc_shift)
+                ) & state.sig_mask
+                state.note_access(pc, False)
+            self._pred_dead[set_index][way] = state.predict(
+                self._signature_for(pc), state.btb_dead_threshold
+            )
+            clock = self._clock
+            tick = clock[set_index] + 1
+            clock[set_index] = tick
+            self._last_use[set_index][way] = tick
+            self._d_hits += 1
+            self.set_index = set_index
+            self.way = way
+            if self._obs_on:
+                self.obs.inc(self._m_hits)
+            return HIT
+
+        if self._enable_bypass:
+            if state.predict(self._signature_for(pc), state.btb_bypass_threshold):
+                if standalone:
+                    state.note_access(pc, False)
+                self._d_misses += 1
+                self._d_bypasses += 1
+                self.set_index = set_index
+                self.way = None
+                if self._obs_on:
+                    self.obs.inc(self._m_misses)
+                    self.obs.inc(self._m_bypasses)
+                    self.obs.event(
+                        "bypass",
+                        structure=self.scope,
+                        set=set_index,
+                        address=block,
+                        pc=pc,
+                    )
+                return BYPASS
+
+        try:
+            way = row.index(_INVALID_TAG)
+        except ValueError:
+            dead_bits = self._pred_dead[set_index]
+            try:
+                way = dead_bits.index(True)
+            except ValueError:
+                recency = self._last_use[set_index]
+                way = recency.index(min(recency))
+            predicted_dead = dead_bits[way]
+            self._d_evictions += 1
+            if predicted_dead:
+                self._d_dead_evictions += 1
+            if self._obs_on:
+                self._emit_eviction(set_index, way, row, block, pc, predicted_dead)
+            if standalone:
+                signature_row = self._signatures[set_index]
+                old_signature = signature_row[way]
+                if old_signature is not None:
+                    state.train(old_signature, True)
+                signature_row[way] = None
+            dead_bits[way] = False
+        row[way] = tag
+        if standalone:
+            self._signatures[set_index][way] = (
+                state.spec ^ (pc >> state.pc_shift)
+            ) & state.sig_mask
+            state.note_access(pc, False)
+        self._pred_dead[set_index][way] = state.predict(
+            self._signature_for(pc), state.btb_dead_threshold
+        )
+        clock = self._clock
+        tick = clock[set_index] + 1
+        clock[set_index] = tick
+        self._last_use[set_index][way] = tick
+        self._d_misses += 1
+        self.set_index = set_index
+        self.way = way
+        if self._obs_on:
+            self.obs.inc(self._m_misses)
+        return FILL
+
+    def _emit_eviction(
+        self,
+        set_index: int,
+        way: int,
+        row: list[int],
+        block: int,
+        pc: int,
+        predicted_dead: bool,
+    ) -> None:
+        obs = self.obs
+        obs.inc(self._m_evictions)
+        if predicted_dead:
+            obs.inc(self._m_dead_evictions)
+        recency = self._last_use[set_index]
+        telemetry = {
+            "predicted_dead_vote": self._pred_dead[set_index][way],
+            "lru_position": sum(1 for value in recency if value > recency[way]),
+        }
+        if self.standalone:
+            telemetry["signature"] = self._signatures[set_index][way]
+        obs.event(
+            "eviction",
+            structure=self.scope,
+            set=set_index,
+            way=way,
+            victim_address=self._victim_address(row, set_index, way),
+            predicted_dead=predicted_dead,
+            incoming_address=block,
+            pc=pc,
+            cause="demand",
+            **telemetry,
+        )

@@ -1,0 +1,77 @@
+"""Fast-path kernel for timestamp LRU.
+
+Replays :class:`~repro.policies.lru.LRUPolicy` exactly: per-set logical
+clock, per-way timestamps, first-minimum victim selection.  Not valid for
+``MRUPolicy`` (different victim rule), which therefore stays on the
+reference engine.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import _INVALID_TAG
+from repro.kernel.base import FILL, HIT, CacheKernel, register_kernel
+from repro.policies.lru import LRUPolicy
+
+__all__ = ["LRUKernel"]
+
+
+@register_kernel(LRUPolicy)
+class LRUKernel(CacheKernel):
+    """LRU on aliased timestamp rows; never bypasses, never predicts dead."""
+
+    def __init__(self, cache, policy: LRUPolicy):
+        super().__init__(cache)
+        self.policy = policy
+        self._last_use = policy._last_use
+        self._clock = policy._clock
+
+    def access(self, block: int, pc: int) -> int:
+        set_index = (block >> self._offset_bits) & self._index_mask
+        tag = block >> self._tag_shift
+        row = self._tags[set_index]
+        clock = self._clock
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self._d_hits += 1
+            tick = clock[set_index] + 1
+            clock[set_index] = tick
+            self._last_use[set_index][way] = tick
+            self.set_index = set_index
+            self.way = way
+            if self._obs_on:
+                self.obs.inc(self._m_hits)
+            return HIT
+
+        # Miss: fill the first invalid way, else evict the LRU way.
+        try:
+            way = row.index(_INVALID_TAG)
+        except ValueError:
+            recency = self._last_use[set_index]
+            way = recency.index(min(recency))
+            self._d_evictions += 1
+            if self._obs_on:
+                self.obs.inc(self._m_evictions)
+                self.obs.event(
+                    "eviction",
+                    structure=self.scope,
+                    set=set_index,
+                    way=way,
+                    victim_address=self._victim_address(row, set_index, way),
+                    predicted_dead=False,
+                    incoming_address=block,
+                    pc=pc,
+                    cause="demand",
+                )
+        row[way] = tag
+        self._d_misses += 1
+        tick = clock[set_index] + 1
+        clock[set_index] = tick
+        self._last_use[set_index][way] = tick
+        self.set_index = set_index
+        self.way = way
+        if self._obs_on:
+            self.obs.inc(self._m_misses)
+        return FILL

@@ -1,0 +1,208 @@
+"""Fast-path kernel for the modified SDBP policy.
+
+Replays :class:`~repro.policies.sdbp.SDBPPolicy` — PC-indexed dead-block
+prediction with a decoupled sampler and summation aggregation — against the
+policy's own sampler entries, prediction bits, and counter tables, all
+aliased in place.  SDBP reads its counters directly (no ``Vote``), so
+unlike GHRP its predictions are *not* counted in the bank telemetry; only
+train events move ``increments``/``decrements``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import _INVALID_TAG
+from repro.kernel.base import BYPASS, FILL, HIT, CacheKernel, register_kernel
+from repro.policies.sdbp import SDBPPolicy
+from repro.util.bits import mask
+from repro.util.hashing import SkewedIndexTable
+
+__all__ = ["SDBPKernel"]
+
+
+@register_kernel(SDBPPolicy)
+class SDBPKernel(CacheKernel):
+    """Flattened SDBP: sampler training + sum-thresholded predictions."""
+
+    def __init__(self, cache, policy: SDBPPolicy):
+        super().__init__(cache)
+        self.policy = policy
+        config = policy.config
+        bank = policy.tables
+        self._pred_dead = policy._pred_dead
+        self._last_use = policy._last_use
+        self._clock = policy._clock
+        self._sampled_sets = policy._sampled_sets
+        self._sampler = policy._sampler
+        self._sampler_clock = policy._sampler_clock
+        self._tables_bank = bank
+        self._counter_rows = list(bank._tables)  # outer copy, rows aliased
+        index_table = SkewedIndexTable(
+            bank.num_tables, bank.index_bits, cache=bank._index_cache
+        )
+        index_table.precompute(config.signature_bits)
+        self._lookup = index_table.lookup
+        self._num_tables = bank.num_tables
+        self._index_bits = bank.index_bits
+        self._counter_max = bank.counter_max
+        self._sig_mask = mask(config.signature_bits)
+        self._sampler_tag_mask = mask(config.sampler_tag_bits)
+        self._dead_threshold = config.dead_sum_threshold
+        self._bypass_threshold = config.bypass_sum_threshold
+        self._d_increments = 0
+        self._d_decrements = 0
+
+    # ------------------------------------------------------------------
+    # Flattened predictor operations
+    # ------------------------------------------------------------------
+    def _counter_sum(self, signature: int) -> int:
+        # Direct lookup: precompute() covered the whole signature space.
+        idx = self._lookup[signature]
+        total = 0
+        for row, index in zip(self._counter_rows, idx):
+            total += row[index]
+        return total
+
+    def _train(self, signature: int, is_dead: bool) -> None:
+        idx = self._lookup[signature]
+        if is_dead:
+            counter_max = self._counter_max
+            for row, index in zip(self._counter_rows, idx):
+                value = row[index]
+                if value < counter_max:
+                    row[index] = value + 1
+            self._d_increments += 1
+        else:
+            for row, index in zip(self._counter_rows, idx):
+                value = row[index]
+                if value > 0:
+                    row[index] = value - 1
+            self._d_decrements += 1
+
+    def _sampler_access(self, set_index: int, block: int, pc: int) -> None:
+        """Reference ``SDBPPolicy._sampler_access`` on aliased entries."""
+        sampler_row = self._sampled_sets.get(set_index)
+        if sampler_row is None:
+            return
+        entries = self._sampler[sampler_row]
+        partial_tag = (block >> self._tag_shift) & self._sampler_tag_mask
+        sampler_clock = self._sampler_clock
+        now = sampler_clock[sampler_row] + 1
+        sampler_clock[sampler_row] = now
+
+        for entry in entries:
+            if entry.valid and entry.partial_tag == partial_tag:
+                self._train(entry.signature, False)
+                entry.signature = (pc >> 2) & self._sig_mask
+                entry.last_use = now
+                return
+
+        # Sampler miss: evict the LRU entry (invalid first), training it dead.
+        victim = entries[0]
+        victim_key = (victim.valid, victim.last_use)
+        for entry in entries:
+            key = (entry.valid, entry.last_use)
+            if key < victim_key:
+                victim = entry
+                victim_key = key
+        if victim.valid:
+            self._train(victim.signature, True)
+        victim.valid = True
+        victim.partial_tag = partial_tag
+        victim.signature = (pc >> 2) & self._sig_mask
+        victim.last_use = now
+
+    # ------------------------------------------------------------------
+    # The fused access path
+    # ------------------------------------------------------------------
+    def access(self, block: int, pc: int) -> int:
+        set_index = (block >> self._offset_bits) & self._index_mask
+        tag = block >> self._tag_shift
+        row = self._tags[set_index]
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self._sampler_access(set_index, block, pc)
+            self._pred_dead[set_index][way] = (
+                self._counter_sum((pc >> 2) & self._sig_mask) >= self._dead_threshold
+            )
+            clock = self._clock
+            tick = clock[set_index] + 1
+            clock[set_index] = tick
+            self._last_use[set_index][way] = tick
+            self._d_hits += 1
+            self.set_index = set_index
+            self.way = way
+            if self._obs_on:
+                self.obs.inc(self._m_hits)
+            return HIT
+
+        # Miss: bypass check first; a bypassed access still trains the sampler.
+        if self._counter_sum((pc >> 2) & self._sig_mask) >= self._bypass_threshold:
+            self._sampler_access(set_index, block, pc)
+            self._d_misses += 1
+            self._d_bypasses += 1
+            self.set_index = set_index
+            self.way = None
+            if self._obs_on:
+                self.obs.inc(self._m_misses)
+                self.obs.inc(self._m_bypasses)
+                self.obs.event(
+                    "bypass", structure=self.scope, set=set_index, address=block, pc=pc
+                )
+            return BYPASS
+
+        try:
+            way = row.index(_INVALID_TAG)
+        except ValueError:
+            dead_bits = self._pred_dead[set_index]
+            try:
+                way = dead_bits.index(True)
+            except ValueError:
+                recency = self._last_use[set_index]
+                way = recency.index(min(recency))
+            predicted_dead = dead_bits[way]
+            self._d_evictions += 1
+            if predicted_dead:
+                self._d_dead_evictions += 1
+            if self._obs_on:
+                obs = self.obs
+                obs.inc(self._m_evictions)
+                if predicted_dead:
+                    obs.inc(self._m_dead_evictions)
+                obs.event(
+                    "eviction",
+                    structure=self.scope,
+                    set=set_index,
+                    way=way,
+                    victim_address=self._victim_address(row, set_index, way),
+                    predicted_dead=predicted_dead,
+                    incoming_address=block,
+                    pc=pc,
+                    cause="demand",
+                )
+            dead_bits[way] = False
+        row[way] = tag
+        self._sampler_access(set_index, block, pc)
+        self._pred_dead[set_index][way] = (
+            self._counter_sum((pc >> 2) & self._sig_mask) >= self._dead_threshold
+        )
+        clock = self._clock
+        tick = clock[set_index] + 1
+        clock[set_index] = tick
+        self._last_use[set_index][way] = tick
+        self._d_misses += 1
+        self.set_index = set_index
+        self.way = way
+        if self._obs_on:
+            self.obs.inc(self._m_misses)
+        return FILL
+
+    def sync(self) -> None:
+        super().sync()
+        bank = self._tables_bank
+        bank.increments += self._d_increments
+        bank.decrements += self._d_decrements
+        self._d_increments = 0
+        self._d_decrements = 0

@@ -44,6 +44,7 @@ class GHRPPolicy(ReplacementPolicy):
     """
 
     name = "ghrp"
+    supports_fast_path = True
 
     def __init__(
         self,
@@ -187,6 +188,7 @@ class GHRPBTBPolicy(ReplacementPolicy):
     """
 
     name = "ghrp-btb"
+    supports_fast_path = True
 
     def __init__(
         self,

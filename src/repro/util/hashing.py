@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.util.bits import fold_xor, mask
 
-__all__ = ["splitmix64", "mix64", "skewed_indices"]
+__all__ = ["splitmix64", "mix64", "skewed_indices", "SkewedIndexTable"]
 
 _U64 = (1 << 64) - 1
 
@@ -80,3 +80,105 @@ def skewed_indices(signature: int, num_tables: int, index_bits: int) -> tuple[in
         fold_xor(mix64(signature, _TABLE_TWEAKS[t]), index_bits) & mask(index_bits)
         for t in range(num_tables)
     )
+
+
+class SkewedIndexTable:
+    """Signature → per-table-indices lookup table.
+
+    Signatures are narrow (12-16 bits), so the whole hash pipeline is
+    memoizable: the batched simulation kernel resolves a signature to its
+    ``num_tables`` indices with one dict lookup instead of ``num_tables``
+    splitmix64 rounds.  Pass ``cache`` to share the memo dict with an
+    existing :class:`~repro.core.tables.PredictionTableBank` so both paths
+    populate (and benefit from) the same table.
+
+    Misses compute the same pipeline as :func:`skewed_indices` with the
+    mixer and XOR fold inlined (bit-identical, roughly an order of
+    magnitude cheaper); :meth:`precompute` fills the whole signature space
+    at once, vectorized when numpy is importable.
+    """
+
+    __slots__ = ("num_tables", "index_bits", "_cache")
+
+    def __init__(
+        self,
+        num_tables: int,
+        index_bits: int,
+        cache: dict[int, tuple[int, ...]] | None = None,
+    ):
+        if not 1 <= num_tables <= len(_TABLE_TWEAKS):
+            raise ValueError(
+                f"num_tables must be in [1, {len(_TABLE_TWEAKS)}], got {num_tables}"
+            )
+        if index_bits <= 0:
+            raise ValueError(f"index_bits must be positive, got {index_bits}")
+        self.num_tables = num_tables
+        self.index_bits = index_bits
+        self._cache = cache if cache is not None else {}
+
+    def indices(self, signature: int) -> tuple[int, ...]:
+        """Per-table indices for ``signature`` (memoized ``skewed_indices``)."""
+        cached = self._cache.get(signature)
+        if cached is not None:
+            return cached
+        # Inlined mix64 + fold_xor, equal by construction to skewed_indices
+        # (pinned by tests/test_kernel_differential.py).
+        index_bits = self.index_bits
+        index_mask = (1 << index_bits) - 1
+        out = []
+        for t in range(self.num_tables):
+            value = (signature ^ _TABLE_TWEAKS[t]) & _U64
+            value = (value + 0x9E3779B97F4A7C15) & _U64
+            value = ((value ^ (value >> 30)) * _MIX_MULT_1) & _U64
+            value = ((value ^ (value >> 27)) * _MIX_MULT_2) & _U64
+            value ^= value >> 31
+            folded = 0
+            while value:
+                folded ^= value & index_mask
+                value >>= index_bits
+            out.append(folded)
+        result = tuple(out)
+        self._cache[signature] = result
+        return result
+
+    def precompute(self, signature_bits: int) -> None:
+        """Eagerly fill the table for every ``signature_bits``-wide signature.
+
+        Afterwards :attr:`lookup` hits the dict for every possible
+        signature, with no hashing left on the hot path.  Uses numpy when
+        available (the whole 16-bit space fills in milliseconds), falling
+        back to the scalar pipeline.
+        """
+        total = 1 << signature_bits
+        if len(self._cache) >= total:
+            return
+        try:
+            import numpy as np
+        except ImportError:
+            for signature in range(total):
+                self.indices(signature)
+            return
+        index_bits = self.index_bits
+        index_mask = np.uint64((1 << index_bits) - 1)
+        shift = np.uint64(index_bits)
+        signatures = np.arange(total, dtype=np.uint64)
+        columns = []
+        for t in range(self.num_tables):
+            value = signatures ^ np.uint64(_TABLE_TWEAKS[t])
+            value = value + np.uint64(0x9E3779B97F4A7C15)
+            value = (value ^ (value >> np.uint64(30))) * np.uint64(_MIX_MULT_1)
+            value = (value ^ (value >> np.uint64(27))) * np.uint64(_MIX_MULT_2)
+            value = value ^ (value >> np.uint64(31))
+            folded = np.zeros_like(value)
+            while value.any():
+                folded ^= value & index_mask
+                value >>= shift
+            columns.append(folded.tolist())
+        cache = self._cache
+        for signature, indices in enumerate(zip(*columns)):
+            cache[signature] = indices
+
+    @property
+    def lookup(self) -> dict[int, tuple[int, ...]]:
+        """The raw memo dict, for kernels that inline the ``.get`` call."""
+        return self._cache

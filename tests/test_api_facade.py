@@ -1,0 +1,176 @@
+"""Behavior of the `repro.api` facade and the legacy-entry-point shims."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro import (
+    Category,
+    FrontEndConfig,
+    RunOptions,
+    SimulationSession,
+    SweepOptions,
+    build_frontend,
+    make_workload,
+    simulate,
+    sweep,
+)
+from repro.frontend.engine import _build_policies, build_policies
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("facade", Category.SHORT_SERVER, seed=7, trace_scale=0.05)
+
+
+class TestSimulate:
+    def test_applies_paper_warmup_rule_for_workloads(self, workload):
+        config = FrontEndConfig()
+        result = simulate(workload, policy="lru")
+        expected = RunOptions.from_config_warmup(
+            config, workload.instruction_count()
+        )
+        assert result.warmup_instructions >= expected.warmup_instructions
+        assert result.instructions > result.warmup_instructions
+
+    def test_engines_are_bit_identical(self, workload):
+        reference = simulate(workload, policy="ghrp", engine="reference")
+        fast = simulate(workload, policy="ghrp", engine="fast")
+        assert asdict(reference) == asdict(fast)
+
+    def test_explicit_options_override_warmup_rule(self, workload):
+        result = simulate(
+            workload,
+            policy="lru",
+            options=RunOptions(warmup_instructions=123, max_instructions=5000),
+        )
+        assert result.warmup_instructions >= 123
+        assert result.instructions <= 5000 + 64  # limit checked per record
+
+    def test_bare_record_iterable_runs_unwarmed(self, workload):
+        # No instruction-count hint, so no warm-up rule: the measured
+        # region starts at the very first record (boundary crossed on
+        # record one, before any meaningful warm-up could happen).
+        result = simulate(list(workload.records()), policy="lru")
+        assert result.warmup_instructions <= 16
+        assert result.branches > 0
+        assert result.icache_measured.misses == pytest.approx(
+            result.icache_total.misses, abs=2
+        )
+
+    def test_btb_policy_override(self, workload):
+        result = simulate(workload, policy="lru", btb_policy="ghrp")
+        assert result.btb_total.misses > 0
+
+    def test_unknown_engine_rejected(self, workload):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(workload, policy="lru", engine="warp")
+
+
+class TestSession:
+    def test_session_matches_one_shot(self, workload):
+        session = SimulationSession(engine="fast")
+        assert asdict(session.simulate(workload, policy="sdbp")) == asdict(
+            simulate(workload, policy="sdbp", engine="fast")
+        )
+
+    def test_session_runs_are_independent(self, workload):
+        session = SimulationSession()
+        first = session.simulate(workload, policy="lru")
+        second = session.simulate(workload, policy="lru")
+        assert asdict(first) == asdict(second)
+
+    def test_session_config_overrides_compose(self, workload):
+        session = SimulationSession(config=FrontEndConfig(wrong_path_depth=2))
+        result = session.simulate(workload, policy="ghrp")
+        assert result.wrong_path_accesses > 0
+
+
+class TestSweep:
+    def test_sweep_covers_grid_and_reports_progress(self, workload):
+        seen = []
+        grid = sweep(
+            workload,
+            SweepOptions(policies=("lru", "ghrp")),
+            progress=seen.append,
+        )
+        assert len(seen) == 2
+        assert {cell.policy for cell in seen} == {"lru", "ghrp"}
+        assert grid.icache.get("lru", workload.name) > 0
+
+    def test_session_sweep_matches_module_sweep(self, workload):
+        options = SweepOptions(policies=("lru",))
+        from_session = SimulationSession().sweep(workload, options)
+        from_module = sweep(workload, options)
+        assert from_session.icache.get("lru", workload.name) == pytest.approx(
+            from_module.icache.get("lru", workload.name)
+        )
+
+
+class TestSweepOptions:
+    def test_rejects_empty_policy_list(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            SweepOptions(policies=())
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(ValueError, match="non-empty strings"):
+            SweepOptions(policies=("lru", ""))
+
+    def test_normalizes_sequences_to_tuples(self):
+        assert SweepOptions(policies=["lru", "ghrp"]).policies == ("lru", "ghrp")
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            SweepOptions(("lru",))
+
+
+class TestRunOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunOptions(warmup_instructions=-1)
+        with pytest.raises(ValueError):
+            RunOptions(max_instructions=0)
+
+    def test_from_config_warmup_is_half_trace_capped(self):
+        config = FrontEndConfig()
+        assert RunOptions.from_config_warmup(config, 1000).warmup_instructions == int(
+            1000 * config.warmup_fraction
+        )
+        capped = RunOptions.from_config_warmup(config, 10**12)
+        assert capped.warmup_instructions == config.warmup_cap_instructions
+
+
+class TestDeprecationShims:
+    def test_legacy_positional_warmup_warns_and_matches(self, workload):
+        records = list(workload.records())
+        modern = build_frontend().run(records, RunOptions(warmup_instructions=4000))
+        legacy_frontend = build_frontend()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = legacy_frontend.run(records, 4000)
+        assert asdict(modern) == asdict(legacy)
+
+    def test_run_with_config_warmup_warns_and_matches(self, workload):
+        records = list(workload.records())
+        config = FrontEndConfig()
+        hint = workload.instruction_count()
+        modern = build_frontend(config).run(
+            records, RunOptions.from_config_warmup(config, hint)
+        )
+        legacy_frontend = build_frontend(config)
+        with pytest.warns(DeprecationWarning, match="run_with_config_warmup"):
+            legacy = legacy_frontend.run_with_config_warmup(records, config, hint)
+        assert asdict(modern) == asdict(legacy)
+
+    def test_private_build_policies_alias_warns(self):
+        config = FrontEndConfig(icache_policy="lru")
+        with pytest.warns(DeprecationWarning, match="_build_policies"):
+            shimmed = _build_policies(config)
+        direct = build_policies(config)
+        assert type(shimmed[0]) is type(direct[0])
+
+    def test_options_and_legacy_keywords_conflict(self, workload):
+        frontend = build_frontend()
+        with pytest.raises(TypeError, match="not both"):
+            frontend.run(
+                iter(()), RunOptions(warmup_instructions=1), warmup_instructions=2
+            )

@@ -1,0 +1,78 @@
+"""Export-surface snapshot for the stable facade.
+
+The facade's promise is that ``repro.api.__all__`` and the ``repro``
+top-level exports only grow deliberately: removing or renaming a name is
+a breaking change that must update this snapshot (and the deprecation
+notes in docs/api.md) in the same commit.  Silent drift fails here.
+"""
+
+import repro
+import repro.api as api
+
+API_EXPORTS = frozenset(
+    {
+        "RunOptions",
+        "SweepOptions",
+        "SimulationSession",
+        "simulate",
+        "sweep",
+        "ENGINES",
+        "build_frontend",
+        "build_policies",
+        "FrontEndConfig",
+        "SimulationResult",
+    }
+)
+
+TOP_LEVEL_EXPORTS = frozenset(
+    {
+        "GHRPConfig",
+        "GHRPPredictor",
+        "CacheGeometry",
+        "SetAssociativeCache",
+        "BranchTargetBuffer",
+        "FrontEndConfig",
+        "FrontEnd",
+        "ENGINES",
+        "build_frontend",
+        "build_policies",
+        "RunOptions",
+        "SweepOptions",
+        "SimulationSession",
+        "simulate",
+        "sweep",
+        "SimulationResult",
+        "available_policies",
+        "make_policy",
+        "BranchRecord",
+        "BranchType",
+        "Category",
+        "Workload",
+        "make_suite",
+        "make_workload",
+        "__version__",
+    }
+)
+
+
+class TestApiSurface:
+    def test_api_all_matches_snapshot(self):
+        assert frozenset(api.__all__) == API_EXPORTS
+
+    def test_top_level_all_matches_snapshot(self):
+        assert frozenset(repro.__all__) == TOP_LEVEL_EXPORTS
+
+    def test_every_declared_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_facade_is_reexported_from_top_level(self):
+        # Everything the facade exports is importable from `repro` itself,
+        # so user code needs exactly one import line (docs/api.md).
+        for name in API_EXPORTS:
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_engines_tuple(self):
+        assert repro.ENGINES == ("reference", "fast")
