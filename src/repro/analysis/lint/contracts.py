@@ -22,7 +22,10 @@ Two invariants keep that true:
   contract — the fast path falls back to (and is differentially tested
   against) the reference engine, so opting in never excuses breaking it.
   Conversely a kernel registered for a class that does not opt in is
-  unreachable.
+  unreachable.  Every registered kernel must also implement the
+  ``state_digest()`` sentinel hook: runtime verification, crash capture,
+  and repro bundles all read kernel state through it, so a kernel without
+  it turns the first divergence into an opaque ``NotImplementedError``.
 """
 
 from __future__ import annotations
@@ -151,7 +154,7 @@ class FastPathRule(ProjectRule):
 
     def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
         from repro.cache.policy_api import ReplacementPolicy
-        from repro.kernel.base import registered_kernels
+        from repro.kernel.base import CacheKernel, registered_kernels
         from repro.policies import registry
 
         kernels = registered_kernels()
@@ -191,6 +194,17 @@ class FastPathRule(ProjectRule):
                         f"kernel {kernel_cls.__name__} is registered for "
                         f"{policy_cls.__name__}, which does not set "
                         "supports_fast_path; the kernel is unreachable",
+                    ),
+                    rule=self.id,
+                )
+            if kernel_cls.state_digest is CacheKernel.state_digest:
+                yield replace(
+                    PolicyAbcRule._finding_for(
+                        kernel_cls,
+                        f"kernel {kernel_cls.__name__} does not implement "
+                        "state_digest(); the sentinel layer (runtime "
+                        "verification, crash capture, repro bundles) reads "
+                        "every registered kernel's state through that hook",
                     ),
                     rule=self.id,
                 )

@@ -29,12 +29,12 @@ Everything exported here is also re-exported from :mod:`repro` itself::
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 
 from repro.experiments.runner import CellResult, GridResult, run_cell
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import ENGINES, build_frontend, build_policies
-from repro.frontend.options import RunOptions
+from repro.frontend.options import RunOptions, WorkloadRef
 from repro.frontend.results import SimulationResult
 from repro.obs import NULL_OBS, Observability
 from repro.workloads.suite import Workload
@@ -147,6 +147,14 @@ class SimulationSession:
             if options is None:
                 options = RunOptions.from_config_warmup(
                     config, workload.instruction_count()
+                )
+            if options.verify != "off" and options.workload_ref is None:
+                # Verified runs carry their provenance so the sentinel's
+                # repro bundles are replayable without the call site.
+                options = dc_replace(
+                    options,
+                    workload_ref=WorkloadRef.from_workload(workload),
+                    config_ref=options.config_ref or config,
                 )
         else:
             records = workload

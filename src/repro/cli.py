@@ -19,6 +19,9 @@ Subcommands:
   event JSONL (evictions, bypasses, wrong-path episodes, ...) plus a
   metrics and per-phase timing summary;
 - ``gen-trace`` — synthesize a workload and write it as a trace file;
+- ``replay``    — re-run a sentinel repro bundle (written on divergence or
+  kernel crash under ``--verify``) and report whether the failure
+  reproduces; exits 1 when it does not;
 - ``characterize`` — reuse-distance + deadness analysis of a workload;
 - ``check``     — run the simulator-invariant static-analysis pass
   (determinism lint, bit-width/storage-budget checks, policy-contract
@@ -28,7 +31,10 @@ Subcommands:
 The simulation subcommands (``simulate``, ``compare``, ``suite``,
 ``trace``) take ``--engine {reference,fast}`` to select the per-access
 reference engine or the batched fast path; results are bit-identical and
-unsupported configurations fall back to reference.
+unsupported configurations fall back to reference.  ``simulate``,
+``trace``, and ``grid`` additionally take ``--verify {off,sampled,full}``
+to cross-check the fast path against the reference engine at run time
+(see :mod:`repro.sentinel`).
 
 Global flags (accepted before or after the subcommand):
 
@@ -111,6 +117,30 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.frontend.options import VERIFY_MODES
+
+    parser.add_argument(
+        "--verify", choices=VERIFY_MODES, default="off",
+        help="cross-check the fast path against the reference engine over "
+             "sampled windows (sampled) or every window (full); on "
+             "divergence or kernel crash the run fails over to the "
+             "reference engine and writes a repro bundle under "
+             "artifacts/repro-bundles/ (no effect on --engine reference)",
+    )
+
+
+def _print_engine_notes(result) -> None:
+    """Surface fast-path fallback and sentinel degradation after a run."""
+    reason = result.fast_path_fallback_reason
+    if reason is not None:
+        print(f"note: fast path unavailable ({reason}); "
+              f"ran on the reference engine")
+    if result.degraded:
+        print("note: sentinel failover — the fast path diverged or crashed "
+              "and the run finished on the reference engine (degraded)")
+
+
 def _add_global_arguments(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
     """Logging/metrics flags, on the root parser and every subcommand.
 
@@ -169,18 +199,26 @@ def _write_metrics(args: argparse.Namespace, obs: Observability) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.frontend.options import RunOptions
+
     config = _config_from(args, args.policy)
     obs = _obs_from(args)
     if args.trace:
         from repro.frontend.engine import build_frontend
 
         frontend = build_frontend(config, obs=obs, engine=args.engine)
+        options = RunOptions(
+            warmup_instructions=args.warmup, verify=args.verify
+        )
         with obs.span("simulate"):
-            result = frontend.run(read_trace(args.trace), warmup_instructions=args.warmup)
+            result = frontend.run(read_trace(args.trace), options)
     else:
         workload = _workload_from(args)
-        result = run_workload(workload, config, obs=obs, engine=args.engine)
+        result = run_workload(
+            workload, config, obs=obs, engine=args.engine, verify=args.verify
+        )
     print(result.summary_line())
+    _print_engine_notes(result)
     _write_metrics(args, obs)
     return 0
 
@@ -319,6 +357,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         progress=progress,
         obs=obs,
+        engine=args.engine,
+        verify=args.verify,
     )
     print(figures.headline_numbers(
         grid, policies=tuple(grid.icache.policies)
@@ -355,11 +395,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         max_events=args.max_events,
     ) as tracer:
         obs = Observability(tracer=tracer)
-        cell = run_cell(workload, args.policy, config, obs=obs, engine=args.engine)
+        cell = run_cell(
+            workload, args.policy, config, obs=obs, engine=args.engine,
+            verify=args.verify,
+        )
     print(
         f"{cell.workload} / {cell.policy}: icache_mpki={cell.icache_mpki:.3f} "
         f"btb_mpki={cell.btb_mpki:.3f} instructions={cell.instructions}"
     )
+    _print_engine_notes(cell)
     print(obs.render())
     print(
         f"wrote {tracer.written} events ({tracer.seq} emitted, sample rate "
@@ -374,6 +418,21 @@ def _cmd_gen_trace(args: argparse.Namespace) -> int:
     count = write_trace(args.output, workload.records())
     print(f"wrote {count} branch records to {args.output}")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a sentinel repro bundle; exit 0 iff the failure reproduces."""
+    from repro.sentinel import replay_bundle
+
+    try:
+        report = replay_bundle(args.bundle)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-sim replay: {error}")
+        return 2
+    status = "reproduced" if report.reproduced else "NOT reproduced"
+    print(f"{args.bundle}: {report.kind} {status}")
+    print(f"  {report.detail}")
+    return 0 if report.reproduced else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -432,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(simulate)
     _add_config_arguments(simulate)
     _add_engine_argument(simulate)
+    _add_verify_argument(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="ghrp")
     simulate.add_argument("--warmup", type=int, default=100_000)
     simulate.set_defaults(func=_cmd_simulate)
@@ -513,6 +573,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "garbage) on its first N attempts; repeatable "
                            "(for demos and harness testing)")
     _add_config_arguments(grid)
+    _add_engine_argument(grid)
+    _add_verify_argument(grid)
     grid.set_defaults(func=_cmd_grid)
 
     trace = add_subcommand(
@@ -521,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(trace)
     _add_config_arguments(trace)
     _add_engine_argument(trace)
+    _add_verify_argument(trace)
     trace.add_argument("--policy", choices=available_policies(), default="ghrp")
     trace.add_argument("--out", default="trace-events.jsonl",
                        help="event JSONL output path")
@@ -538,6 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(gen)
     gen.add_argument("output", help="output trace path")
     gen.set_defaults(func=_cmd_gen_trace)
+
+    replay = add_subcommand(
+        "replay", "re-run a sentinel repro bundle and check it reproduces"
+    )
+    replay.add_argument("bundle",
+                        help="bundle directory (or its manifest.json) written "
+                             "under artifacts/repro-bundles/")
+    replay.set_defaults(func=_cmd_replay)
 
     characterize = add_subcommand(
         "characterize", "reuse-distance and deadness analysis of a workload"

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import build_frontend
+from repro.frontend.options import RunOptions, WorkloadRef
 from repro.obs import NULL_OBS, Observability, get_logger
 from repro.stats.mpki import MPKITable
 from repro.workloads.suite import Workload
@@ -65,6 +66,12 @@ class CellResult:
     elapsed_seconds: float
     setup_seconds: float = 0.0
     simulate_seconds: float = 0.0
+    #: True when the sentinel failed the run over to the reference engine
+    #: mid-run (statistics are still exact; throughput is not comparable).
+    degraded: bool = False
+    #: Why the fast path was refused at build time, when it was requested
+    #: but the front end fell back to the reference engine.
+    fast_path_fallback_reason: str | None = None
 
 
 _CELL_INT_FIELDS = frozenset(
@@ -130,13 +137,19 @@ class FailedCell:
     message: str
     attempts: int
     elapsed_seconds: float
+    #: Repro bundle captured by the sentinel for the terminal attempt
+    #: (divergence or kernel crash), when one was written.
+    bundle_path: str | None = None
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"{self.policy}/{self.workload}: {self.kind} "
             f"({self.error_type}: {self.message}) after {self.attempts} attempt(s), "
             f"{self.elapsed_seconds:.1f}s"
         )
+        if self.bundle_path is not None:
+            line += f" [bundle: {self.bundle_path}]"
+        return line
 
 
 @dataclass(slots=True)
@@ -220,11 +233,31 @@ def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
     )
 
 
+def _run_options_for(
+    workload: Workload, config: FrontEndConfig, warmup: int, verify: str
+) -> RunOptions:
+    """Cell run options; verified runs carry the provenance the sentinel's
+    repro bundles need (workload spec + seed, front-end config)."""
+    refs = {}
+    if verify != "off":
+        refs = {
+            "workload_ref": WorkloadRef.from_workload(workload),
+            "config_ref": config,
+        }
+    return RunOptions(
+        warmup_instructions=warmup,
+        max_instructions=config.max_instructions,
+        verify=verify,
+        **refs,
+    )
+
+
 def run_workload(
     workload: Workload,
     config: FrontEndConfig,
     obs: Observability = NULL_OBS,
     engine: str = "reference",
+    verify: str = "off",
 ):
     """Simulate one workload under ``config``; returns SimulationResult."""
     with obs.span("setup"):
@@ -233,8 +266,7 @@ def run_workload(
     with obs.span("simulate"):
         return frontend.run(
             workload.records(),
-            warmup_instructions=warmup,
-            max_instructions=config.max_instructions,
+            _run_options_for(workload, config, warmup, verify),
         )
 
 
@@ -244,6 +276,7 @@ def run_cell(
     config: FrontEndConfig,
     obs: Observability = NULL_OBS,
     engine: str = "reference",
+    verify: str = "off",
 ) -> CellResult:
     """Simulate one (policy, workload) cell with fresh front-end state."""
     cell_config = config.with_overrides(icache_policy=policy, btb_policy=policy)
@@ -262,8 +295,7 @@ def run_cell(
     with obs.span("simulate"):
         result = frontend.run(
             workload.records(),
-            warmup_instructions=warmup,
-            max_instructions=cell_config.max_instructions,
+            _run_options_for(workload, cell_config, warmup, verify),
         )
     simulate_seconds = time.perf_counter() - simulate_started
 
@@ -283,6 +315,8 @@ def run_cell(
             elapsed_seconds=setup_seconds + simulate_seconds,
             setup_seconds=setup_seconds,
             simulate_seconds=simulate_seconds,
+            degraded=result.degraded,
+            fast_path_fallback_reason=result.fast_path_fallback_reason,
         )
     obs.finish_span(cell_span)
     return cell
@@ -295,13 +329,16 @@ def run_grid(
     progress: Callable[[CellResult], None] | None = None,
     obs: Observability = NULL_OBS,
     engine: str = "reference",
+    verify: str = "off",
 ) -> GridResult:
     """Run every (policy, workload) cell; optionally report progress."""
     config = config or FrontEndConfig()
     grid = GridResult()
     for workload in workloads:
         for policy in policies:
-            cell = run_cell(workload, policy, config, obs=obs, engine=engine)
+            cell = run_cell(
+                workload, policy, config, obs=obs, engine=engine, verify=verify
+            )
             grid.add(cell)
             if progress is not None:
                 progress(cell)

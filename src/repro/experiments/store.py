@@ -182,12 +182,25 @@ class ResultStore:
         )
 
     def _quarantine_path(self) -> Path:
-        candidate = self.path.with_name(self.path.name + ".corrupt")
+        """Claim a unique ``.corrupt`` path atomically.
+
+        ``O_CREAT | O_EXCL`` reserves the name in the same step that
+        checks it, so two processes quarantining concurrently can never
+        pick the same path and overwrite each other's evidence (a bare
+        ``exists()`` probe would race).  The claimed placeholder is then
+        replaced by the moved/copied store file.
+        """
         suffix = 0
-        while candidate.exists():
-            suffix += 1
-            candidate = self.path.with_name(f"{self.path.name}.corrupt.{suffix}")
-        return candidate
+        candidate = self.path.with_name(self.path.name + ".corrupt")
+        while True:
+            try:
+                os.close(os.open(candidate, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return candidate
+            except FileExistsError:
+                suffix += 1
+                candidate = self.path.with_name(
+                    f"{self.path.name}.corrupt.{suffix}"
+                )
 
     # -- keys -----------------------------------------------------------
     def key_for(self, workload: Workload, policy: str, config: FrontEndConfig) -> str:

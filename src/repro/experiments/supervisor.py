@@ -129,10 +129,12 @@ def _worker_main(conn: Connection) -> None:
     """Worker loop: receive tasks, run cells, report results.
 
     Runs in a child process.  Each task is
-    ``(task_id, workload, policy, config, attempt, fault_plan, obs_on)``;
-    the reply is ``("ok", task_id, cell, obs_summary)`` or
-    ``("error", task_id, error_type, message, traceback, obs_summary)``.
-    A ``None`` task (or a closed pipe) shuts the worker down.
+    ``(task_id, workload, policy, config, attempt, fault_plan, obs_on,
+    engine, verify)``; the reply is ``("ok", task_id, cell, obs_summary)``
+    or ``("error", task_id, error_type, message, traceback, obs_summary,
+    bundle_path)`` — ``bundle_path`` being the sentinel's repro bundle for
+    the failed attempt, when one was captured.  A ``None`` task (or a
+    closed pipe) shuts the worker down.
     """
     while True:
         try:
@@ -141,12 +143,15 @@ def _worker_main(conn: Connection) -> None:
             return
         if task is None:
             return
-        task_id, workload, policy, config, attempt, fault_plan, obs_on = task
+        (task_id, workload, policy, config, attempt, fault_plan, obs_on,
+         engine, verify) = task
         obs = Observability() if obs_on else NULL_OBS
         try:
             if fault_plan is not None:
                 fault_plan.before_cell(policy, workload.name, attempt)
-            cell = run_cell(workload, policy, config, obs=obs)
+            cell = run_cell(
+                workload, policy, config, obs=obs, engine=engine, verify=verify
+            )
             if fault_plan is not None:
                 cell = fault_plan.mangle_result(policy, workload.name, attempt, cell)
             summary = obs.summary() if obs_on else None
@@ -160,6 +165,7 @@ def _worker_main(conn: Connection) -> None:
                 str(error),
                 traceback.format_exc(),
                 summary,
+                getattr(error, "bundle_path", None),
             ))
 
 
@@ -206,13 +212,14 @@ class _Worker:
 
     def assign(self, task: _Task, config: FrontEndConfig,
                fault_plan: FaultPlan | None, obs_on: bool,
-               now: float, timeout: float | None) -> None:
+               now: float, timeout: float | None,
+               engine: str, verify: str) -> None:
         task.started_at = now
         self.task = task
         self.deadline = None if timeout is None else now + timeout
         self.conn.send((
             task.slot, task.workload, task.policy, config,
-            task.attempt, fault_plan, obs_on,
+            task.attempt, fault_plan, obs_on, engine, verify,
         ))
 
     def kill(self) -> None:
@@ -251,6 +258,8 @@ class _Supervisor:
         obs: Observability,
         clock: Callable[[], float],
         sleep: Callable[[float], None],
+        engine: str = "reference",
+        verify: str = "off",
     ) -> None:
         self.config = config
         self.sup = supervisor
@@ -258,6 +267,8 @@ class _Supervisor:
         self.fault_plan = fault_plan
         self.progress = progress
         self.obs = obs
+        self.engine = engine
+        self.verify = verify
         self.clock = clock
         self.sleep = sleep
         self.context = multiprocessing.get_context(supervisor.start_method)
@@ -299,6 +310,7 @@ class _Supervisor:
                 worker.assign(
                     task, self.config, self.fault_plan,
                     self.obs.enabled, now, self.sup.cell_timeout_seconds,
+                    self.engine, self.verify,
                 )
             except (BrokenPipeError, OSError):
                 # The idle worker died before we could use it; replace it
@@ -321,7 +333,8 @@ class _Supervisor:
             self.progress(cell)
 
     def _record_attempt_failure(
-        self, task: _Task, kind: str, error_type: str, message: str, now: float
+        self, task: _Task, kind: str, error_type: str, message: str, now: float,
+        bundle_path: str | None = None,
     ) -> None:
         """Re-queue with backoff, or degrade to a FailedCell."""
         task.elapsed += now - task.started_at
@@ -351,12 +364,14 @@ class _Supervisor:
             message=message,
             attempts=task.attempt + 1,
             elapsed_seconds=task.elapsed,
+            bundle_path=bundle_path,
         )
         self.failures[task.slot] = failure
         self.obs.inc("supervisor.cells_failed")
         self.obs.event(
             "cell_failed", cell=task.key, failure=kind,
             error=error_type, attempts=failure.attempts,
+            bundle=bundle_path,
         )
         _LOG.error("cell %s failed permanently: %s", task.key,
                    failure.summary_line())
@@ -386,12 +401,13 @@ class _Supervisor:
             task.elapsed += now - task.started_at
             self._record_success(task, cell)
         else:
-            _, _, error_type, error_message, trace, summary = message
+            _, _, error_type, error_message, trace, summary, bundle_path = message
             if summary:
                 self.obs.merge_child(summary, label=f"worker:{task.key}")
             _LOG.debug("worker traceback for %s:\n%s", task.key, trace)
             self._record_attempt_failure(
-                task, "error", error_type, error_message, now
+                task, "error", error_type, error_message, now,
+                bundle_path=bundle_path,
             )
 
     def _handle_crash(self, worker: _Worker, now: float) -> None:
@@ -483,6 +499,8 @@ def run_grid_supervised(
     obs: Observability = NULL_OBS,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    engine: str = "reference",
+    verify: str = "off",
 ) -> GridResult:
     """Run every (policy, workload) cell under the supervised worker pool.
 
@@ -495,8 +513,9 @@ def run_grid_supervised(
     """
     config = config or FrontEndConfig()
     supervisor = supervisor or SupervisorConfig()
-    engine = _Supervisor(
-        config, supervisor, store, fault_plan, progress, obs, clock, sleep
+    executor = _Supervisor(
+        config, supervisor, store, fault_plan, progress, obs, clock, sleep,
+        engine=engine, verify=verify,
     )
     obs.inc("supervisor.cells_total",
             len(workloads) * len(policies) or 0)
@@ -517,13 +536,13 @@ def run_grid_supervised(
             tasks.append(_Task(slot=slot, workload=workload, policy=policy))
 
     with obs.span("supervised_grid"):
-        engine.run(tasks)
+        executor.run(tasks)
 
     grid = GridResult()
     for slot in range(len(slots)):
-        cell = cached.get(slot) or engine.results.get(slot)
+        cell = cached.get(slot) or executor.results.get(slot)
         if cell is not None:
             grid.add(cell)
-        elif slot in engine.failures:
-            grid.add_failure(engine.failures[slot])
+        elif slot in executor.failures:
+            grid.add_failure(executor.failures[slot])
     return grid

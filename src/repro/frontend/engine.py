@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import warnings
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.branch.base import BranchDirectionPredictor
 from repro.branch.ras import ReturnAddressStack
@@ -47,6 +48,30 @@ ENGINES = ("reference", "fast")
 """Engine choices: the reference event-driven path and the batched kernel."""
 
 
+@dataclass(slots=True)
+class _RunState:
+    """Mutable simulation-loop state, threaded through ``_run_window``.
+
+    Pulling the loop state out of ``run``'s local variables lets a run be
+    split into windows: the sentinel layer (:mod:`repro.sentinel`) runs
+    the fast engine window-by-window, snapshots this state at barriers,
+    and can seed a shadow or takeover reference engine mid-stream.
+    ``next_start`` uses the :class:`~repro.traces.reconstruct.
+    FetchBlockStream` convention (None = no previous branch).
+    """
+
+    warmup_boundary: int
+    instruction_limit: int | None
+    next_start: int | None = None
+    instructions_seen: int = 0
+    branches_seen: int = 0
+    icache_warm: object | None = None
+    btb_warm: object | None = None
+    warmed_at: int = 0
+    done: bool = False
+    phase_span: object | None = None
+
+
 class FrontEnd:
     """A complete front end: I-cache + BTB + direction predictor + RAS."""
 
@@ -70,6 +95,8 @@ class FrontEnd:
         self.obs = obs
         self.wrong_path_depth = wrong_path_depth
         self.wrong_path_accesses = 0
+        self.degraded = False
+        self.fast_path_fallback_reason: str | None = None
         self.prefetcher = prefetcher
         self.indirect = indirect
         self._icache_port = (
@@ -171,20 +198,37 @@ class FrontEnd:
             options = resolve_run_options(
                 options, warmup_instructions, max_instructions
             )
-        warmup_boundary = options.warmup_instructions
-        instruction_limit = options.max_instructions
+        rs = _RunState(
+            warmup_boundary=options.warmup_instructions,
+            instruction_limit=options.max_instructions,
+        )
+        # The warm-up/measured boundary falls mid-loop, so the phase spans
+        # use explicit start/finish rather than ``with`` blocks.
+        rs.phase_span = self.obs.start_span("warm-up")
+        self._run_window(records, rs)
+        return self._finish_run(rs)
+
+    def _run_window(self, records: Iterable[BranchRecord], rs: _RunState) -> None:
+        """Simulate one window of records, continuing from ``rs``.
+
+        A full run is one window over the whole stream; the sentinel
+        layer calls this repeatedly with slices of the stream, carrying
+        the fetch-reconstruction state across calls through ``rs``.
+        """
+        warmup_boundary = rs.warmup_boundary
+        instruction_limit = rs.instruction_limit
         icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
         icache_port = self._icache_port
         indirect = self.indirect
         obs = self.obs
         block_size = icache.geometry.block_size
-        stream = FetchBlockStream(records)
-        icache_warm = btb_warm = None
-        warmed_at = 0
         simulate_wrong_path = self.wrong_path_depth > 0
-        # The warm-up/measured boundary falls mid-loop, so the phase spans
-        # use explicit start/finish rather than ``with`` blocks.
-        phase_span = obs.start_span("warm-up")
+        stream = FetchBlockStream(records)
+        # A window continues the same logical stream, so the
+        # reconstruction state carries over from the previous one.
+        stream._next_start = rs.next_start
+        stream.instructions_seen = rs.instructions_seen
+        stream.branches_seen = rs.branches_seen
 
         for chunk in stream:
             start_pc = chunk.start_pc
@@ -219,59 +263,79 @@ class FrontEnd:
                 self._simulate_wrong_path(wrong_next)
 
             # Warm-up boundary: first crossing snapshots both structures.
-            if icache_warm is None and stream.instructions_seen >= warmup_boundary:
+            if rs.icache_warm is None and stream.instructions_seen >= warmup_boundary:
                 icache.stats.instructions = stream.instructions_seen
                 btb.stats.instructions = stream.instructions_seen
-                icache_warm = icache.stats.snapshot()
-                btb_warm = btb.stats.snapshot()
-                warmed_at = stream.instructions_seen
+                rs.icache_warm = icache.stats.snapshot()
+                rs.btb_warm = btb.stats.snapshot()
+                rs.warmed_at = stream.instructions_seen
                 if obs.enabled:
-                    obs.finish_span(phase_span)
-                    phase_span = obs.start_span("measured")
-                    obs.set_gauge("sim.warmup_instructions", warmed_at)
+                    obs.finish_span(rs.phase_span)
+                    rs.phase_span = obs.start_span("measured")
+                    obs.set_gauge("sim.warmup_instructions", rs.warmed_at)
                     obs.event(
                         "warmup_complete",
-                        instructions=warmed_at,
-                        icache_misses=icache_warm.misses,
-                        btb_misses=btb_warm.misses,
+                        instructions=rs.warmed_at,
+                        icache_misses=rs.icache_warm.misses,
+                        btb_misses=rs.btb_warm.misses,
                     )
                     self._emit_table_saturation(phase="warmup")
 
             if instruction_limit is not None and stream.instructions_seen >= instruction_limit:
+                rs.done = True
                 break
 
-        obs.finish_span(phase_span)
+        rs.next_start = stream._next_start
+        rs.instructions_seen = stream.instructions_seen
+        rs.branches_seen = stream.branches_seen
+
+    def _before_stats_collect(self) -> None:
+        """Hook for the fast engine to flush kernel deltas."""
+
+    def _finish_run(self, rs: _RunState) -> SimulationResult:
+        """Close the phase spans, finalize the structures, build the result."""
+        obs = self.obs
+        icache, btb = self.icache, self.btb
+        obs.finish_span(rs.phase_span)
+        rs.phase_span = None
         stats_span = obs.start_span("stats-collect")
-        icache.stats.instructions = stream.instructions_seen
-        btb.stats.instructions = stream.instructions_seen
-        if icache_warm is None:
+        self._before_stats_collect()
+        icache.stats.instructions = rs.instructions_seen
+        btb.stats.instructions = rs.instructions_seen
+        if rs.icache_warm is None:
             # Trace ended inside warm-up; measure everything instead of
             # reporting an empty region.
-            icache_warm = type(icache.stats)()
-            btb_warm = type(btb.stats)()
-            warmed_at = 0
+            rs.icache_warm = type(icache.stats)()
+            rs.btb_warm = type(btb.stats)()
+            rs.warmed_at = 0
         icache.finalize()
         btb.finalize()
         if obs.enabled:
-            obs.set_gauge("sim.instructions", stream.instructions_seen)
-            obs.set_gauge("sim.branches", stream.branches_seen)
+            obs.set_gauge("sim.instructions", rs.instructions_seen)
+            obs.set_gauge("sim.branches", rs.branches_seen)
             self._emit_table_saturation(phase="end")
         obs.finish_span(stats_span)
+        return self._collect_result(rs)
 
+    def _collect_result(self, rs: _RunState) -> SimulationResult:
+        icache, btb = self.icache, self.btb
+        indirect = self.indirect
         return SimulationResult(
-            instructions=stream.instructions_seen,
-            branches=stream.branches_seen,
-            warmup_instructions=warmed_at,
+            instructions=rs.instructions_seen,
+            branches=rs.branches_seen,
+            warmup_instructions=rs.warmed_at,
             icache_total=icache.stats,
-            icache_measured=icache.stats.since(icache_warm),
+            icache_measured=icache.stats.since(rs.icache_warm),
             btb_total=btb.stats,
-            btb_measured=btb.stats.since(btb_warm),
-            direction=direction.stats,
+            btb_measured=btb.stats.since(rs.btb_warm),
+            direction=self.direction.stats,
             target_mispredictions=btb.target_mispredictions,
-            ras_underflows=ras.underflows,
+            ras_underflows=self.ras.underflows,
             wrong_path_accesses=self.wrong_path_accesses,
             prefetch=self.prefetcher.stats if self.prefetcher is not None else None,
             indirect=indirect.stats if indirect is not None else None,
+            degraded=self.degraded,
+            fast_path_fallback_reason=self.fast_path_fallback_reason,
         )
 
     def run_with_config_warmup(
@@ -409,7 +473,16 @@ def build_frontend(
         )
         if reason is None:
             return FastFrontEnd(**parts)
-        get_logger("frontend").debug(
+        # The fallback must be visible, not implicit: count it, trace it,
+        # log it, and stamp the reason on the front end so results and
+        # the CLI can surface it.
+        obs.inc("frontend.fast_path_fallbacks")
+        if obs.enabled:
+            obs.event("fast_path_fallback", reason=reason)
+        get_logger("frontend").info(
             "fast engine unavailable (%s); using the reference engine", reason
         )
+        frontend = FrontEnd(**parts)
+        frontend.fast_path_fallback_reason = reason
+        return frontend
     return FrontEnd(**parts)

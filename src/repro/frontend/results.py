@@ -34,6 +34,14 @@ class SimulationResult:
     wrong_path_accesses: int
     prefetch: PrefetchStats | None = None
     indirect: IndirectStats | None = None
+    degraded: bool = False
+    """True when the fast engine detected a divergence (or a kernel
+    crashed) mid-run and the sentinel layer finished the run on the
+    reference engine.  Always False on an undisturbed run, so comparing
+    ``dataclasses.asdict`` across engines stays valid."""
+    fast_path_fallback_reason: str | None = None
+    """Why ``build_frontend(engine="fast")`` fell back to the reference
+    engine (None when the requested engine actually ran)."""
 
     @property
     def icache_mpki(self) -> float:

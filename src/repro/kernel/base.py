@@ -176,6 +176,37 @@ class CacheKernel(abc.ABC):
         """Re-capture scalar state from the reference objects (run start)."""
         self.wrong_path = False
 
+    def state_digest(self) -> dict:
+        """Canonical export of the kernel's live state for the sentinel.
+
+        Every registered kernel must implement this (enforced by the
+        ``contract-fast-path`` lint rule): it feeds divergence-bundle
+        manifests and crash capture, and — unlike :meth:`sync` — must be
+        safe to call when the kernel may be mid-update, so it reads
+        without flushing.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_digest(); "
+            "every registered kernel must export its canonical state"
+        )
+
+    def _base_digest(self) -> dict:
+        """The state every kernel shares: tags, deltas, outcome scalars."""
+        return {
+            "kernel": type(self).__name__,
+            "tags": self._tags,
+            "deltas": {
+                "hits": self._d_hits,
+                "misses": self._d_misses,
+                "bypasses": self._d_bypasses,
+                "evictions": self._d_evictions,
+                "dead_evictions": self._d_dead_evictions,
+            },
+            "set_index": self.set_index,
+            "way": self.way,
+            "wrong_path": self.wrong_path,
+        }
+
     def sync(self) -> None:
         """Flush statistic deltas into the reference cache's counters."""
         stats = self.cache.stats
@@ -252,6 +283,14 @@ class BTBKernel:
 
     def reload(self) -> None:
         self.inner.reload()
+
+    def state_digest(self) -> dict:
+        return {
+            "kernel": type(self).__name__,
+            "targets": self._targets,
+            "delta_target_mispredictions": self._d_target_mispredictions,
+            "inner": self.inner.state_digest(),
+        }
 
     def sync(self) -> None:
         self.inner.sync()

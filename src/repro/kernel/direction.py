@@ -64,6 +64,18 @@ class HashedPerceptronKernel:
         self._d_predictions = 0
         self._d_mispredictions = 0
 
+    def state_digest(self) -> dict:
+        """Canonical export of the predictor's live state (sentinel hook)."""
+        return {
+            "kernel": type(self).__name__,
+            "weights": self._weights,
+            "outcome_history": self._outcome_history,
+            "path_history": self._path_history,
+            "last_sum": self._last_sum,
+            "delta_predictions": self._d_predictions,
+            "delta_mispredictions": self._d_mispredictions,
+        }
+
     def predict_and_update(self, pc: int, taken: bool) -> bool:
         pc_hash = (pc >> 2) & 0x3FFFFFFF
         entries_mask = self._entries_mask

@@ -22,7 +22,7 @@ import warnings
 from collections.abc import Iterable
 
 from repro.branch.perceptron import HashedPerceptronPredictor
-from repro.frontend.engine import FrontEnd
+from repro.frontend.engine import FrontEnd, _RunState
 from repro.frontend.options import RunOptions, resolve_run_options
 from repro.frontend.results import SimulationResult
 from repro.kernel.base import BTBKernel, KernelContext, kernel_class_for
@@ -160,14 +160,40 @@ class FastFrontEnd(FrontEnd):
             options = resolve_run_options(
                 options, warmup_instructions, max_instructions
             )
-        warmup_boundary = options.warmup_instructions
-        instruction_limit = options.max_instructions
+        self._reload_kernels()
+        rs = _RunState(
+            warmup_boundary=options.warmup_instructions,
+            instruction_limit=options.max_instructions,
+        )
+        rs.phase_span = self.obs.start_span("warm-up")
+        if options.verify == "off":
+            if options.inject_kernel_fault is not None:
+                from repro.sentinel.faults import arm_kernel_fault
+
+                # Armed but unverified: the corruption runs to completion
+                # silently — exactly the failure mode the sentinel layer
+                # exists to catch (and what its tests demonstrate).
+                arm_kernel_fault(self, options.inject_kernel_fault)
+            self._run_window(records, rs)
+            return self._finish_run(rs)
+        from repro.sentinel.verifier import run_verified
+
+        return run_verified(self, records, rs, options)
+
+    def _run_window(self, records: Iterable[BranchRecord], rs: _RunState) -> None:
+        """Batched twin of :meth:`FrontEnd._run_window`.
+
+        The flat per-record loop with the fetch-stream reconstruction
+        inlined; loop state is loaded from and stored back to ``rs`` so
+        the sentinel layer can run the engine window-by-window.
+        """
+        warmup_boundary = rs.warmup_boundary
+        instruction_limit = rs.instruction_limit
 
         icache, btb, direction, ras = self.icache, self.btb, self.direction, self.ras
         indirect = self.indirect
         obs = self.obs
         obs_enabled = obs.enabled
-        self._reload_kernels()
 
         block_size = icache.geometry.block_size
         block_mask = ~(block_size - 1)
@@ -190,12 +216,11 @@ class FastFrontEnd(FrontEnd):
         indirect_call = BranchType.INDIRECT_CALL
         returns = BranchType.RETURN
 
-        instructions_seen = 0
-        branches_seen = 0
-        next_start = -1  # FetchBlockStream's "no previous branch" sentinel
-        icache_warm = btb_warm = None
-        warmed_at = 0
-        phase_span = obs.start_span("warm-up")
+        instructions_seen = rs.instructions_seen
+        branches_seen = rs.branches_seen
+        # -1 mirrors FetchBlockStream's None "no previous branch" sentinel.
+        next_start = -1 if rs.next_start is None else rs.next_start
+        warmed = rs.icache_warm is not None
 
         for record in records:
             pc = record.pc
@@ -244,57 +269,33 @@ class FastFrontEnd(FrontEnd):
                 self._simulate_wrong_path(pc + 4 if taken else target)
 
             # --- warm-up boundary / instruction budget ------------------
-            if icache_warm is None and instructions_seen >= warmup_boundary:
+            if not warmed and instructions_seen >= warmup_boundary:
                 self._sync_kernels()
                 icache.stats.instructions = instructions_seen
                 btb.stats.instructions = instructions_seen
-                icache_warm = icache.stats.snapshot()
-                btb_warm = btb.stats.snapshot()
-                warmed_at = instructions_seen
+                rs.icache_warm = icache.stats.snapshot()
+                rs.btb_warm = btb.stats.snapshot()
+                rs.warmed_at = instructions_seen
+                warmed = True
                 if obs_enabled:
-                    obs.finish_span(phase_span)
-                    phase_span = obs.start_span("measured")
-                    obs.set_gauge("sim.warmup_instructions", warmed_at)
+                    obs.finish_span(rs.phase_span)
+                    rs.phase_span = obs.start_span("measured")
+                    obs.set_gauge("sim.warmup_instructions", rs.warmed_at)
                     obs.event(
                         "warmup_complete",
-                        instructions=warmed_at,
-                        icache_misses=icache_warm.misses,
-                        btb_misses=btb_warm.misses,
+                        instructions=rs.warmed_at,
+                        icache_misses=rs.icache_warm.misses,
+                        btb_misses=rs.btb_warm.misses,
                     )
                     self._emit_table_saturation(phase="warmup")
 
             if instruction_limit is not None and instructions_seen >= instruction_limit:
+                rs.done = True
                 break
 
-        obs.finish_span(phase_span)
-        stats_span = obs.start_span("stats-collect")
-        self._sync_kernels()
-        icache.stats.instructions = instructions_seen
-        btb.stats.instructions = instructions_seen
-        if icache_warm is None:
-            icache_warm = type(icache.stats)()
-            btb_warm = type(btb.stats)()
-            warmed_at = 0
-        icache.finalize()
-        btb.finalize()
-        if obs_enabled:
-            obs.set_gauge("sim.instructions", instructions_seen)
-            obs.set_gauge("sim.branches", branches_seen)
-            self._emit_table_saturation(phase="end")
-        obs.finish_span(stats_span)
+        rs.instructions_seen = instructions_seen
+        rs.branches_seen = branches_seen
+        rs.next_start = None if next_start < 0 else next_start
 
-        return SimulationResult(
-            instructions=instructions_seen,
-            branches=branches_seen,
-            warmup_instructions=warmed_at,
-            icache_total=icache.stats,
-            icache_measured=icache.stats.since(icache_warm),
-            btb_total=btb.stats,
-            btb_measured=btb.stats.since(btb_warm),
-            direction=direction.stats,
-            target_mispredictions=btb.target_mispredictions,
-            ras_underflows=ras.underflows,
-            wrong_path_accesses=self.wrong_path_accesses,
-            prefetch=None,
-            indirect=indirect.stats if indirect is not None else None,
-        )
+    def _before_stats_collect(self) -> None:
+        self._sync_kernels()

@@ -89,6 +89,17 @@ class GHRPKernelState:
         self.d_increments = 0
         self.d_decrements = 0
 
+    def digest(self) -> dict:
+        """Canonical export of the shared predictor state (sentinel hook)."""
+        return {
+            "tables": self.tables,
+            "spec": self.spec,
+            "retired": self.retired,
+            "delta_predictions": self.d_predictions,
+            "delta_increments": self.d_increments,
+            "delta_decrements": self.d_decrements,
+        }
+
     # ------------------------------------------------------------------
     # Flattened predictor operations (PredictionTableBank/PathHistory twins)
     # ------------------------------------------------------------------
@@ -184,6 +195,16 @@ class GHRPCacheKernel(CacheKernel):
     @classmethod
     def build(cls, cache, policy, context: KernelContext):
         return cls(cache, policy, context.ghrp_state(policy.predictor))
+
+    def state_digest(self) -> dict:
+        return {
+            **self._base_digest(),
+            "signatures": self._signatures,
+            "pred_dead": self._pred_dead,
+            "last_use": self._last_use,
+            "clock": self._clock,
+            "predictor": self.state.digest(),
+        }
 
     def reload(self) -> None:
         self.wrong_path = self.policy.wrong_path
@@ -348,6 +369,17 @@ class GHRPBTBKernel(CacheKernel):
     @classmethod
     def build(cls, cache, policy, context: KernelContext):
         return cls(cache, policy, context.ghrp_state(policy.predictor))
+
+    def state_digest(self) -> dict:
+        return {
+            **self._base_digest(),
+            "standalone": self.standalone,
+            "signatures": self._signatures,
+            "pred_dead": self._pred_dead,
+            "last_use": self._last_use,
+            "clock": self._clock,
+            "predictor": self.state.digest(),
+        }
 
     def _signature_for(self, pc: int) -> int:
         """Reference ``GHRPBTBPolicy._signature_for`` on aliased state."""

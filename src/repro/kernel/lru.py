@@ -25,6 +25,13 @@ class LRUKernel(CacheKernel):
         self._last_use = policy._last_use
         self._clock = policy._clock
 
+    def state_digest(self) -> dict:
+        return {
+            **self._base_digest(),
+            "last_use": self._last_use,
+            "clock": self._clock,
+        }
+
     def access(self, block: int, pc: int) -> int:
         set_index = (block >> self._offset_bits) & self._index_mask
         tag = block >> self._tag_shift

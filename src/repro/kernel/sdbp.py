@@ -51,6 +51,22 @@ class SDBPKernel(CacheKernel):
         self._d_increments = 0
         self._d_decrements = 0
 
+    def state_digest(self) -> dict:
+        return {
+            **self._base_digest(),
+            "pred_dead": self._pred_dead,
+            "last_use": self._last_use,
+            "clock": self._clock,
+            "tables": self._counter_rows,
+            "sampler": [
+                [(e.valid, e.partial_tag, e.signature, e.last_use) for e in row]
+                for row in self._sampler
+            ],
+            "sampler_clock": self._sampler_clock,
+            "delta_increments": self._d_increments,
+            "delta_decrements": self._d_decrements,
+        }
+
     # ------------------------------------------------------------------
     # Flattened predictor operations
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Runtime self-checking for the fast-path engine.
+
+The sentinel layer cross-checks :class:`~repro.kernel.engine.FastFrontEnd`
+against the reference engine at run time: sampled (or full) shadow
+re-execution with canonical state digests, graceful failover to the
+reference engine when the engines disagree or a kernel crashes, and
+self-contained repro bundles capturing the divergent window.
+
+This package root deliberately imports only the frontend-independent
+pieces (errors, faults, digests, bundles); :mod:`repro.sentinel.verifier`
+pulls in the engines and is imported lazily by ``FastFrontEnd.run`` to
+keep the import graph acyclic.
+"""
+
+from repro.sentinel.bundle import (
+    BUNDLE_FORMAT_VERSION,
+    ReplayReport,
+    load_manifest,
+    replay_bundle,
+    write_bundle,
+)
+from repro.sentinel.digest import diff_digest, digest_fingerprint, frontend_digest
+from repro.sentinel.errors import DivergenceError, InjectedKernelError, SentinelError
+from repro.sentinel.faults import FAULT_KINDS, KernelFault, arm_kernel_fault
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "DivergenceError",
+    "FAULT_KINDS",
+    "InjectedKernelError",
+    "KernelFault",
+    "ReplayReport",
+    "SentinelError",
+    "arm_kernel_fault",
+    "diff_digest",
+    "digest_fingerprint",
+    "frontend_digest",
+    "load_manifest",
+    "replay_bundle",
+    "write_bundle",
+]

@@ -1,0 +1,289 @@
+"""Crash-capture repro bundles.
+
+When the sentinel detects a divergence (or a kernel crashes), it writes a
+self-contained bundle directory:
+
+- ``manifest.json`` — front-end config, workload provenance (name, seed,
+  materialized spec), run options, engine versions, window bounds, state
+  digest fingerprints, the field-level diff, and any injected fault;
+- ``window.trace`` — the branch records of the offending window in the
+  repo's binary trace format (the minimized access slice).
+
+``repro-sim replay <bundle>`` rebuilds the exact workload and config,
+re-runs the fast engine with verification on and failover off, and
+reports whether the same failure reproduces.
+
+Bundle directories are claimed atomically (``os.mkdir``) with a counter
+suffix, so concurrent writers (grid workers) never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "WINDOW_TRACE_NAME",
+    "write_bundle",
+    "load_manifest",
+    "replay_bundle",
+    "ReplayReport",
+]
+
+BUNDLE_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+WINDOW_TRACE_NAME = "window.trace"
+
+
+def _claim_bundle_dir(root: Path, stem: str) -> Path:
+    """Atomically claim a fresh bundle directory under ``root``."""
+    root.mkdir(parents=True, exist_ok=True)
+    counter = 0
+    while True:
+        name = stem if counter == 0 else f"{stem}-{counter}"
+        candidate = root / name
+        try:
+            candidate.mkdir()
+            return candidate
+        except FileExistsError:
+            counter += 1
+
+
+def _workload_dict(workload_ref) -> dict | None:
+    if workload_ref is None:
+        return None
+    spec = dataclasses.asdict(workload_ref.spec)
+    spec["category"] = workload_ref.spec.category.value
+    return {"name": workload_ref.name, "seed": workload_ref.seed, "spec": spec}
+
+
+def _workload_from_dict(data: dict):
+    from repro.workloads.spec import Category, WorkloadSpec
+    from repro.workloads.suite import make_workload
+
+    raw = dict(data["spec"])
+    category = Category(raw.pop("category"))
+    fields = {
+        f.name: f for f in dataclasses.fields(WorkloadSpec) if f.name != "category"
+    }
+    kwargs = {}
+    for name, value in raw.items():
+        if name not in fields:
+            continue  # forward compatibility: ignore unknown keys
+        kwargs[name] = tuple(value) if isinstance(value, list) else value
+    spec = WorkloadSpec(category=category, **kwargs)
+    # jitter=False: the stored spec is already the materialized, jittered
+    # one; re-jittering would change the stream.
+    return make_workload(
+        data["name"], category, seed=data["seed"], spec=spec, jitter=False
+    )
+
+
+def _config_dict(config) -> dict | None:
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(data: dict | None):
+    from repro.core.config import GHRPConfig
+    from repro.frontend.config import FrontEndConfig
+    from repro.policies.sdbp import SDBPConfig
+
+    if data is None:
+        return FrontEndConfig()
+    raw = dict(data)
+    raw["ghrp"] = GHRPConfig(**raw["ghrp"])
+    raw["sdbp"] = SDBPConfig(**raw["sdbp"])
+    known = {f.name for f in dataclasses.fields(FrontEndConfig)}
+    return FrontEndConfig(**{k: v for k, v in raw.items() if k in known})
+
+
+def write_bundle(
+    *,
+    bundle_dir: str,
+    kind: str,
+    error_type: str,
+    error_message: str,
+    access_index: int | None,
+    field_diff: list[str],
+    window_records,
+    window_bounds: tuple[int, int],
+    options,
+    digests: dict[str, str],
+    kernel_digests: dict[str, str],
+) -> str:
+    """Write one repro bundle; returns its directory path."""
+    import platform
+
+    import repro
+    from repro.traces.io import write_trace
+
+    start_branch, end_branch = window_bounds
+    workload = _workload_dict(options.workload_ref)
+    stem_name = workload["name"] if workload else "run"
+    path = _claim_bundle_dir(
+        Path(bundle_dir), f"{stem_name}-{kind}-b{start_branch}"
+    )
+    record_count = write_trace(path / WINDOW_TRACE_NAME, window_records)
+    fault = options.inject_kernel_fault
+    manifest = {
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "kind": kind,
+        "engines": {
+            "primary": "fast",
+            "shadow": "reference",
+            "repro": repro.__version__,
+            "python": platform.python_version(),
+        },
+        "error": {
+            "type": error_type,
+            "message": error_message,
+            "access_index": access_index,
+            "field_diff": field_diff[:24],
+        },
+        "window": {
+            "start_branch": start_branch,
+            "end_branch": end_branch,
+            "records": record_count,
+        },
+        "options": {
+            "warmup_instructions": options.warmup_instructions,
+            "max_instructions": options.max_instructions,
+            "verify": options.verify,
+            "verify_window": options.verify_window,
+            "verify_interval": options.verify_interval,
+        },
+        "fault": fault.to_dict() if fault is not None else None,
+        "workload": workload,
+        "config": _config_dict(options.config_ref),
+        "digests": digests,
+        "kernel_digests": kernel_digests,
+    }
+    tmp = path / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    tmp.replace(path / MANIFEST_NAME)
+    return str(path)
+
+
+def load_manifest(bundle_path: str) -> dict:
+    path = Path(bundle_path)
+    if path.is_file() and path.name == MANIFEST_NAME:
+        path = path.parent
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle format {version!r} "
+            f"(this build reads version {BUNDLE_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayReport:
+    """Outcome of replaying a repro bundle."""
+
+    reproduced: bool
+    kind: str
+    detail: str
+    access_index: int | None = None
+    expected_access_index: int | None = None
+
+
+def replay_bundle(bundle_path: str) -> ReplayReport:
+    """Re-run the failure captured in ``bundle_path``.
+
+    Rebuilds the workload and configuration from the manifest, re-runs
+    the fast engine with the recorded verification settings (failover
+    off, bundle writing off), and checks the captured failure recurs.
+    Falls back to replaying just the stored window slice when the bundle
+    has no workload provenance.
+    """
+    from repro.frontend.engine import build_frontend
+    from repro.frontend.options import RunOptions
+    from repro.sentinel.errors import DivergenceError
+    from repro.sentinel.faults import KernelFault
+    from repro.traces.io import read_trace
+
+    manifest = load_manifest(bundle_path)
+    path = Path(bundle_path)
+    if path.is_file():
+        path = path.parent
+    kind = manifest["kind"]
+    config = _config_from_dict(manifest.get("config"))
+    opts = manifest["options"]
+    workload_data = manifest.get("workload")
+    if workload_data is not None:
+        workload = _workload_from_dict(workload_data)
+        records = workload.records()
+        warmup = opts["warmup_instructions"]
+    else:
+        records = read_trace(path / WINDOW_TRACE_NAME)
+        warmup = 0
+    fault_data = manifest.get("fault")
+    options = RunOptions(
+        warmup_instructions=warmup,
+        max_instructions=opts["max_instructions"],
+        verify=opts["verify"] if opts["verify"] != "off" else "sampled",
+        verify_window=opts["verify_window"],
+        verify_interval=opts["verify_interval"],
+        failover=False,
+        repro_bundle_dir=None,
+        inject_kernel_fault=(
+            KernelFault.from_dict(fault_data) if fault_data else None
+        ),
+    )
+    frontend = build_frontend(config, engine="fast")
+    expected_type = manifest["error"]["type"]
+    expected_index = manifest["error"]["access_index"]
+    try:
+        frontend.run(records, options)
+    except DivergenceError as error:
+        index_matches = (
+            expected_index is None
+            or error.access_index is None
+            or error.access_index == expected_index
+        )
+        return ReplayReport(
+            reproduced=kind == "divergence" and index_matches,
+            kind=kind,
+            detail=(
+                f"DivergenceError reproduced at access "
+                f"#{error.access_index} (expected #{expected_index})"
+                if index_matches
+                else f"DivergenceError at access #{error.access_index}, "
+                f"but the bundle recorded #{expected_index}"
+            ),
+            access_index=error.access_index,
+            expected_access_index=expected_index,
+        )
+    except Exception as error:  # noqa: BLE001 - replays arbitrary crashes
+        same_type = type(error).__name__ == expected_type
+        return ReplayReport(
+            reproduced=kind == "kernel-crash" and same_type,
+            kind=kind,
+            detail=(
+                f"{type(error).__name__} reproduced: {error}"
+                if same_type
+                else f"raised {type(error).__name__}, but the bundle "
+                f"recorded {expected_type}: {error}"
+            ),
+            expected_access_index=expected_index,
+        )
+    return ReplayReport(
+        reproduced=False,
+        kind=kind,
+        detail=(
+            f"run completed without reproducing the recorded "
+            f"{expected_type}; the failure may be fixed"
+        ),
+        expected_access_index=expected_index,
+    )

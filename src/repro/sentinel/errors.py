@@ -1,0 +1,70 @@
+"""Sentinel error types.
+
+:class:`DivergenceError` is the contract between the runtime verifier and
+everything above it: it carries enough context (first divergent access,
+field-level diff, digest fingerprints, bundle path) that a grid report, a
+CI log, or a human can act on the failure without re-running anything.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SentinelError", "DivergenceError", "InjectedKernelError"]
+
+
+class SentinelError(RuntimeError):
+    """Base class for runtime-verification failures."""
+
+
+class InjectedKernelError(SentinelError):
+    """Raised by a ``kind="raise"`` :class:`~repro.sentinel.faults.
+    KernelFault` — a deterministic stand-in for a kernel crash."""
+
+
+class DivergenceError(SentinelError):
+    """The fast engine's state diverged from the shadow reference engine.
+
+    Attributes
+    ----------
+    access_index:
+        1-based global branch-record index of the first divergent access
+        (None when localization could not pin one down).
+    field_diff:
+        Human-readable ``path: expected != actual`` lines, reference
+        engine first.
+    window:
+        ``(start_branch, end_branch)`` bounds of the verified window the
+        divergence was detected in.
+    bundle_path:
+        Path of the crash-capture repro bundle written for this failure
+        (None when bundle writing is disabled).
+    expected_fingerprint / actual_fingerprint:
+        Digest fingerprints of the reference and fast engine state at the
+        window barrier.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        access_index: int | None = None,
+        field_diff: tuple[str, ...] = (),
+        window: tuple[int, int] | None = None,
+        bundle_path: str | None = None,
+        expected_fingerprint: str | None = None,
+        actual_fingerprint: str | None = None,
+    ):
+        super().__init__(message)
+        self.access_index = access_index
+        self.field_diff = tuple(field_diff)
+        self.window = window
+        self.bundle_path = bundle_path
+        self.expected_fingerprint = expected_fingerprint
+        self.actual_fingerprint = actual_fingerprint
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [super().__str__()]
+        if self.access_index is not None:
+            parts.append(f"first divergent access: #{self.access_index}")
+        if self.bundle_path is not None:
+            parts.append(f"repro bundle: {self.bundle_path}")
+        return "; ".join(parts)

@@ -1,0 +1,146 @@
+"""Deterministic kernel fault injection.
+
+The sentinel layer's guarantees are only testable if we can make the fast
+path *actually* diverge on demand.  A :class:`KernelFault` corrupts one
+piece of kernel-aliased state (or raises) at an exact access count —
+deterministic, so a fault captured in a repro bundle re-fires at the same
+access when replayed.
+
+This module is dependency-free (dataclass + a closure) so it can be
+imported by :mod:`repro.frontend.options` and serialized into bundles
+without dragging the engines in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["KernelFault", "FaultArm", "arm_kernel_fault", "FAULT_KINDS"]
+
+FAULT_KINDS = ("flip-pred-bit", "zero-recency", "raise")
+"""Supported corruptions:
+
+- ``flip-pred-bit``: invert the dead-block prediction bit of the block
+  just touched (GHRP/SDBP kernels) — the canonical silent-divergence bug.
+- ``zero-recency``: clobber the touched block's LRU timestamp (any
+  kernel) — corrupts future victim selection.
+- ``raise``: raise :class:`~repro.sentinel.errors.InjectedKernelError` —
+  a stand-in for a kernel crash, exercising the failover path.
+"""
+
+_STRUCTURES = ("icache", "btb")
+
+
+@dataclass(frozen=True, slots=True)
+class KernelFault:
+    """One seeded fault: corrupt ``structure``'s kernel at access #N.
+
+    ``access_index`` counts the kernel's block accesses (1-based,
+    wrong-path accesses included), so the trigger point is a pure
+    function of the record stream.
+    """
+
+    structure: str = "icache"
+    access_index: int = 1
+    kind: str = "flip-pred-bit"
+
+    def __post_init__(self) -> None:
+        if self.structure not in _STRUCTURES:
+            raise ValueError(
+                f"structure must be one of {_STRUCTURES}, got {self.structure!r}"
+            )
+        if self.access_index < 1:
+            raise ValueError(
+                f"access_index must be >= 1, got {self.access_index}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelFault":
+        return cls(**data)
+
+
+class FaultArm:
+    """Live handle for an armed fault: exposes the running access count
+    (the sentinel rebases ``access_index`` on it when replaying a window
+    on a shadow engine) and can disarm the wrapper."""
+
+    __slots__ = ("fault", "kernel", "count", "fired", "_original")
+
+    def __init__(self, fault: KernelFault, kernel):
+        self.fault = fault
+        self.kernel = kernel
+        self.count = 0
+        self.fired = False
+        self._original = None
+
+    def disarm(self) -> None:
+        if self._original is not None:
+            del self.kernel.access
+            self._original = None
+
+
+def _corrupt(kernel, kind: str) -> None:
+    set_index = kernel.set_index
+    way = kernel.way if kernel.way is not None else 0
+    if kind == "flip-pred-bit":
+        rows = getattr(kernel, "_pred_dead", None)
+        if rows is None:
+            raise ValueError(
+                f"kernel {type(kernel).__name__} has no prediction bits; "
+                "use kind='zero-recency' instead"
+            )
+        rows[set_index][way] = not rows[set_index][way]
+    elif kind == "zero-recency":
+        kernel._last_use[set_index][way] = 0
+    else:  # "raise"
+        from repro.sentinel.errors import InjectedKernelError
+
+        raise InjectedKernelError(
+            f"injected kernel fault in {type(kernel).__name__} "
+            f"(access #{kernel_access_count(kernel)})"
+        )
+
+
+def kernel_access_count(kernel) -> int:
+    """The armed access count of ``kernel``, 0 if no fault is armed."""
+    wrapper = kernel.__dict__.get("access")
+    arm = getattr(wrapper, "_fault_arm", None)
+    return arm.count if arm is not None else 0
+
+
+def _kernel_for(frontend, structure: str):
+    if structure == "icache":
+        return frontend._icache_kernel
+    return frontend._btb_kernel.inner
+
+
+def arm_kernel_fault(frontend, fault: KernelFault) -> FaultArm:
+    """Wrap the target kernel's ``access`` so the fault fires at the
+    configured access count.  Returns the live :class:`FaultArm`.
+
+    The wrapper is an instance attribute shadowing the bound method, so
+    every call site that looks up ``kernel.access`` (including the fast
+    engine's per-window rebinding) goes through it.
+    """
+    kernel = _kernel_for(frontend, fault.structure)
+    arm = FaultArm(fault, kernel)
+    original = kernel.access  # bound method from the class
+
+    def access(block, pc):
+        status = original(block, pc)
+        arm.count += 1
+        if not arm.fired and arm.count == fault.access_index:
+            arm.fired = True
+            _corrupt(kernel, fault.kind)
+        return status
+
+    access._fault_arm = arm
+    arm._original = original
+    kernel.access = access
+    return arm

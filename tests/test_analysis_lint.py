@@ -466,6 +466,76 @@ class TestProjectRules:
         assert result.findings == []
 
 
+class TestFastPathDigestContract:
+    """contract-fast-path: every registered kernel needs state_digest()."""
+
+    _KERNEL_SNIPPET = (
+        "from repro.kernel.base import CacheKernel, register_kernel\n"
+        "\n"
+        "\n"
+        "class {policy}:\n"
+        "    supports_fast_path = True\n"
+        "\n"
+        "\n"
+        "{allow}@register_kernel({policy})\n"
+        "class {kernel}(CacheKernel):\n"
+        "    pass\n"
+    )
+
+    def _lint_with_fixture_kernel(self, tmp_path, name: str, allow: str):
+        """Import a snippet that registers a digest-less kernel, lint it.
+
+        The snippet must be a real on-disk module (not classes defined
+        here): the rule anchors its finding via ``inspect.getsourcefile``
+        and suppressions only match files the engine actually scanned.
+        """
+        import importlib.util
+        import sys
+
+        from repro.kernel.base import _KERNELS
+
+        snippet = tmp_path / "kernel" / f"{name}.py"
+        snippet.parent.mkdir(parents=True, exist_ok=True)
+        snippet.write_text(
+            self._KERNEL_SNIPPET.format(
+                policy=f"{name.title()}Policy", kernel=f"{name.title()}Kernel",
+                allow=allow,
+            ),
+            encoding="utf-8",
+        )
+        spec = importlib.util.spec_from_file_location(f"lint_fixture_{name}", snippet)
+        module = importlib.util.module_from_spec(spec)
+        # The rule anchors findings with inspect.getsourcefile, which
+        # resolves through sys.modules — an unregistered module would
+        # anchor at <unknown>:1 and defeat suppression matching.
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            return LintEngine(
+                [tmp_path, REPRO_PACKAGE], rules=["contract-fast-path"]
+            ).run()
+        finally:
+            sys.modules.pop(spec.name, None)
+            _KERNELS.pop(getattr(module, f"{name.title()}Policy", None), None)
+
+    def test_kernel_without_state_digest_flagged(self, tmp_path):
+        result = self._lint_with_fixture_kernel(tmp_path, "digestless", allow="")
+        assert rule_ids(result) == ["contract-fast-path"]
+        assert "state_digest" in result.findings[0].message
+        assert "DigestlessKernel" in result.findings[0].message
+
+    def test_suppression(self, tmp_path):
+        result = self._lint_with_fixture_kernel(
+            tmp_path,
+            "allowed",
+            allow="# repro: allow(contract-fast-path) -- fixture kernel\n",
+        )
+        assert result.findings == []
+        assert [finding.rule for finding in result.suppressed] == [
+            "contract-fast-path"
+        ]
+
+
 # ----------------------------------------------------------------------
 # Framework behaviour
 # ----------------------------------------------------------------------

@@ -1,0 +1,77 @@
+"""Deprecated front-end spellings: warn once, behave identically.
+
+The PR-4 engine refactor kept three legacy call shapes alive for one
+release, each behind a ``DeprecationWarning``:
+
+- ``FrontEnd.run(records, warmup)`` with a positional int where
+  ``options`` now goes;
+- ``FrontEnd.run_with_config_warmup(records, config, hint)``, whose
+  warm-up rule moved to ``RunOptions.from_config_warmup``;
+- ``repro.frontend.engine._build_policies``, the private alias of
+  :func:`repro.frontend.engine.build_policies`.
+
+These tests pin the shim contract: each spelling must raise the
+warning *and* produce results identical to the supported spelling, so
+removing a shim (or silently changing what it maps to) fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import _build_policies, build_frontend, build_policies
+from repro.frontend.options import RunOptions
+from repro.workloads.suite import Category, make_workload
+
+WARMUP = 1_000
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FrontEndConfig(icache_policy="ghrp", btb_policy="ghrp")
+
+
+@pytest.fixture(scope="module")
+def records(config):
+    workload = make_workload(
+        "shims", Category.SHORT_SERVER, seed=7, trace_scale=0.02
+    )
+    return list(workload.records())
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_positional_warmup_warns_and_matches(config, records, engine):
+    baseline = build_frontend(config, engine=engine).run(
+        iter(records), RunOptions(warmup_instructions=WARMUP)
+    )
+    frontend = build_frontend(config, engine=engine)
+    with pytest.warns(DeprecationWarning, match="RunOptions"):
+        legacy = frontend.run(iter(records), WARMUP)
+    assert asdict(legacy) == asdict(baseline)
+
+
+def test_run_with_config_warmup_warns_and_matches(config, records):
+    hint = len(records)
+    baseline = build_frontend(config).run(
+        iter(records), RunOptions.from_config_warmup(config, hint)
+    )
+    frontend = build_frontend(config)
+    with pytest.warns(DeprecationWarning, match="from_config_warmup"):
+        legacy = frontend.run_with_config_warmup(iter(records), config, hint)
+    assert asdict(legacy) == asdict(baseline)
+
+
+def test_build_policies_private_alias_warns_and_matches(config):
+    supported = build_policies(config)
+    with pytest.warns(DeprecationWarning, match="build_policies"):
+        legacy = _build_policies(config)
+    assert [type(part) for part in legacy] == [type(part) for part in supported]
+    # Both spellings must wire GHRP sharing the same way: one predictor
+    # instance shared by the I-cache and BTB policies.
+    icache_policy, btb_policy, ghrp = legacy
+    assert ghrp is not None
+    assert icache_policy.predictor is ghrp
+    assert btb_policy.predictor is ghrp
