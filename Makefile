@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-fault lint check bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-fast test-fault lint check bench bench-quick bench-smoke bench-diff examples figures clean
 
 # The fault-injection / robustness suite: supervised grid executor,
 # deterministic fault harness, store durability, corrupted-input guards.
@@ -51,6 +51,11 @@ bench-quick:
 # repo root (the perf trajectory future PRs measure against).
 bench-smoke:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/test_kernel_throughput.py -q -s
+
+# Compare the newest BENCH_HISTORY.jsonl entry to the committed baseline
+# (exit 1 past tolerance).  CI runs this non-gating with annotations.
+bench-diff:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-diff --annotate github
 
 figures: bench
 	@echo "rendered figures: benchmarks/results/figures.txt (+ .pgm/.svg)"

@@ -26,12 +26,13 @@ from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import FrontEnd, build_frontend
 from repro.frontend.options import RunOptions
 from repro.kernel.engine import FastFrontEnd
+from repro.telemetry.bench import BENCH_HISTORY_NAME, append_bench_history
 from repro.workloads.spec import Category
 from repro.workloads.suite import make_workload
 
-BENCH_PERF_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_PERF.json"
-)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PERF_PATH = os.path.join(_REPO_ROOT, "BENCH_PERF.json")
+BENCH_HISTORY_PATH = os.path.join(_REPO_ROOT, BENCH_HISTORY_NAME)
 
 # The benchmark workload: one SHORT_SERVER trace at half scale (standard)
 # — large enough that per-access overheads dominate, small enough for CI.
@@ -112,6 +113,8 @@ def test_kernel_throughput():
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[kernel-throughput] wrote {BENCH_PERF_PATH}")
+    append_bench_history(BENCH_HISTORY_PATH, report, source=f"bench-{PROFILE}")
+    print(f"[kernel-throughput] appended to {BENCH_HISTORY_PATH}")
 
     for policy, speedup in speedups.items():
         assert speedup >= _MIN_SPEEDUP, (

@@ -37,6 +37,7 @@ from repro.frontend.options import RunOptions
 from repro.frontend.results import SimulationResult
 from repro.api import SimulationSession, SweepOptions, simulate, sweep
 from repro.policies.registry import available_policies, make_policy
+from repro.telemetry import TelemetryConfig, TelemetryRun
 from repro.traces.record import BranchRecord, BranchType
 from repro.workloads.spec import Category
 from repro.workloads.suite import Workload, make_suite, make_workload
@@ -60,6 +61,8 @@ __all__ = [
     "simulate",
     "sweep",
     "SimulationResult",
+    "TelemetryConfig",
+    "TelemetryRun",
     "available_policies",
     "make_policy",
     "BranchRecord",

@@ -238,7 +238,12 @@ def all_rules() -> tuple[Rule, ...]:
 def _load_builtin_rules() -> None:
     # Imported for their registration side effect; late so core.py can be
     # imported by the rule modules themselves.
-    from repro.analysis.lint import bitwidth, contracts, determinism  # noqa: F401
+    from repro.analysis.lint import (  # noqa: F401
+        bitwidth,
+        contracts,
+        determinism,
+        telemetry,
+    )
 
 
 @dataclass

@@ -1,0 +1,127 @@
+"""Telemetry-guard rule.
+
+The interval-telemetry contract (docs/observability.md) is that a
+disabled recorder costs nothing: with ``RunOptions.telemetry=None`` both
+engines must execute the exact same instruction stream as before the
+pipeline existed, byte for byte.  The differential suite proves this
+dynamically; this rule enforces the source idiom that makes it true.
+
+- ``det-telemetry-off``: inside simulation-kernel modules, any call
+  through a ``telemetry`` attribute (``self.telemetry.finish(...)``, a
+  hoisted ``telemetry.take_sample(...)``) must sit under a guard that
+  proves the recorder exists — an enclosing ``if``/conditional
+  expression (or a preceding operand of the same ``and``) testing that
+  exact receiver with ``... is not None`` or plain truthiness.  An
+  unguarded call either crashes the disabled path or, worse, forces the
+  hot loop to construct a recorder just to stay alive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.core import (
+    Finding,
+    ProjectContext,
+    Rule,
+    SourceFile,
+    node_key,
+    register_rule,
+)
+
+__all__ = ["TelemetryGuardRule"]
+
+
+def _telemetry_receiver(func: ast.AST) -> ast.AST | None:
+    """The ``...telemetry`` subexpression a call dispatches through.
+
+    ``self.telemetry.take_sample`` -> the ``self.telemetry`` Attribute;
+    ``telemetry.finish`` -> the ``telemetry`` Name; plain calls like
+    ``self._setup_telemetry(...)`` (telemetry only in the terminal
+    method name) return None.
+    """
+    node = func.value if isinstance(func, ast.Attribute) else None
+    while node is not None:
+        if isinstance(node, ast.Attribute):
+            if node.attr == "telemetry":
+                return node
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node if node.id == "telemetry" else None
+        else:
+            return None
+    return None
+
+
+def _guards(test: ast.AST, key: str) -> bool:
+    """Whether ``test`` proves the receiver with structure-key ``key``."""
+    if isinstance(test, ast.Compare):
+        return (
+            len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and node_key(test.left) == key
+        )
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_guards(value, key) for value in test.values)
+    if isinstance(test, (ast.Name, ast.Attribute)):
+        return node_key(test) == key
+    return False
+
+
+@register_rule
+class TelemetryGuardRule(Rule):
+    id = "det-telemetry-off"
+    description = (
+        "engine-layer calls through a telemetry attribute must be guarded "
+        "by an enclosing 'if <receiver> is not None' (or truthiness) check "
+        "so the disabled path stays byte-identical and crash-free"
+    )
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+        if not source.is_kernel:
+            return ()
+        return self._check(source)
+
+    def _check(self, source: SourceFile) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(source.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver = _telemetry_receiver(node.func)
+            if receiver is None:
+                continue
+            if not self._guarded(node, node_key(receiver), parents):
+                yield self.finding(
+                    source,
+                    node,
+                    "call through a telemetry attribute without an enclosing "
+                    "'is not None' guard on the same receiver; the disabled "
+                    "path must never touch the recorder",
+                )
+
+    @staticmethod
+    def _guarded(call: ast.Call, key: str, parents: dict) -> bool:
+        child: ast.AST = call
+        node = parents.get(call)
+        while node is not None:
+            if isinstance(node, ast.If) and child in node.body:
+                if _guards(node.test, key):
+                    return True
+            elif isinstance(node, ast.IfExp) and child is node.body:
+                if _guards(node.test, key):
+                    return True
+            elif isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+                index = next(
+                    (i for i, value in enumerate(node.values) if value is child),
+                    0,
+                )
+                if any(_guards(value, key) for value in node.values[:index]):
+                    return True
+            child, node = node, parents.get(node)
+        return False

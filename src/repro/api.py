@@ -37,6 +37,7 @@ from repro.frontend.engine import ENGINES, build_frontend, build_policies
 from repro.frontend.options import RunOptions, WorkloadRef
 from repro.frontend.results import SimulationResult
 from repro.obs import NULL_OBS, Observability
+from repro.telemetry import TelemetryConfig, TelemetryRun
 from repro.workloads.suite import Workload
 
 __all__ = [
@@ -52,6 +53,10 @@ __all__ = [
     "build_policies",
     "FrontEndConfig",
     "SimulationResult",
+    # Interval telemetry: pass RunOptions(telemetry=TelemetryConfig(...))
+    # and read SimulationResult.telemetry (a TelemetryRun) back.
+    "TelemetryConfig",
+    "TelemetryRun",
 ]
 
 

@@ -23,6 +23,11 @@ Subcommands:
   kernel crash under ``--verify``) and report whether the failure
   reproduces; exits 1 when it does not;
 - ``characterize`` — reuse-distance + deadness analysis of a workload;
+- ``profile``   — run one workload under the sampling profiler and print
+  where main-loop time goes (tokenize/lookup/update/sync);
+- ``bench-diff`` — compare the latest ``BENCH_HISTORY.jsonl`` entry
+  against a baseline; exits 1 on a perf regression beyond tolerance
+  (CI runs it as a non-gating annotation);
 - ``check``     — run the simulator-invariant static-analysis pass
   (determinism lint, bit-width/storage-budget checks, policy-contract
   conformance) over source trees; exits 1 on any non-suppressed error,
@@ -42,6 +47,10 @@ Global flags (accepted before or after the subcommand):
   (progress lines for ``suite``/``report`` log at INFO);
 - ``--metrics-out PATH`` — write the run's metrics registry, span timing
   tree, and event totals as JSON (simulation subcommands).
+
+Interval telemetry (``simulate --telemetry-out/--openmetrics-out``,
+``report --telemetry``, ``grid --telemetry``) samples both engines every
+``--telemetry-interval`` branch records; see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -130,6 +139,72 @@ def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="sample interval telemetry and write a JSON run-manifest "
+             "(config digest, engine, spans, per-interval MPKI series) here",
+    )
+    parser.add_argument(
+        "--openmetrics-out", default=None, metavar="PATH",
+        help="also render the metrics registry + interval series as "
+             "OpenMetrics text to this path",
+    )
+    _add_telemetry_interval_argument(parser)
+
+
+def _add_telemetry_interval_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-interval", type=int, default=4096, metavar="N",
+        help="telemetry sample interval in branch records (default: 4096)",
+    )
+
+
+def _telemetry_config_from(args: argparse.Namespace):
+    """A TelemetryConfig when any telemetry output/flag was requested."""
+    wanted = (
+        getattr(args, "telemetry_out", None)
+        or getattr(args, "openmetrics_out", None)
+        or getattr(args, "telemetry", False)
+    )
+    if not wanted:
+        return None
+    from repro.telemetry import TelemetryConfig
+
+    return TelemetryConfig(interval_branches=args.telemetry_interval)
+
+
+def _write_telemetry_artifacts(args, result, config, obs) -> None:
+    """Write the run-manifest and/or OpenMetrics artifacts for one run."""
+    manifest_path = getattr(args, "telemetry_out", None)
+    openmetrics_path = getattr(args, "openmetrics_out", None)
+    if manifest_path:
+        from repro.telemetry import build_run_manifest, write_run_manifest
+
+        manifest = build_run_manifest(
+            result=result,
+            config=config,
+            engine=args.engine,
+            workload_name=None if args.trace else f"{args.category}-{args.seed}",
+            seed=None if args.trace else args.seed,
+            obs=obs,
+        )
+        samples = (manifest["telemetry"] or {}).get("samples", ())
+        write_run_manifest(manifest_path, manifest)
+        print(f"wrote run manifest ({len(samples)} interval samples) "
+              f"to {manifest_path}")
+    if openmetrics_path:
+        from pathlib import Path as _Path
+
+        from repro.telemetry import render_openmetrics
+
+        snapshot = obs.metrics.snapshot() if obs.enabled else {}
+        target = _Path(openmetrics_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(render_openmetrics(snapshot, result.telemetry))
+        print(f"wrote OpenMetrics exposition to {openmetrics_path}")
+
+
 def _print_engine_notes(result) -> None:
     """Surface fast-path fallback and sentinel degradation after a run."""
     reason = result.fast_path_fallback_reason
@@ -182,8 +257,16 @@ def _workload_from(args: argparse.Namespace):
 
 
 def _obs_from(args: argparse.Namespace, tracer: EventTracer | None = None) -> Observability:
-    """An enabled facade when --metrics-out (or a tracer) asks for one."""
-    if tracer is None and not getattr(args, "metrics_out", None):
+    """An enabled facade when --metrics-out, telemetry output, or a tracer
+    asks for one (telemetry artifacts embed the span tree and registry)."""
+    wants_obs = (
+        tracer is not None
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "telemetry_out", None)
+        or getattr(args, "openmetrics_out", None)
+        or getattr(args, "telemetry", False)
+    )
+    if not wants_obs:
         return NULL_OBS
     return Observability(tracer=tracer)
 
@@ -203,22 +286,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     config = _config_from(args, args.policy)
     obs = _obs_from(args)
+    telemetry = _telemetry_config_from(args)
     if args.trace:
         from repro.frontend.engine import build_frontend
 
         frontend = build_frontend(config, obs=obs, engine=args.engine)
         options = RunOptions(
-            warmup_instructions=args.warmup, verify=args.verify
+            warmup_instructions=args.warmup, verify=args.verify,
+            telemetry=telemetry,
         )
         with obs.span("simulate"):
             result = frontend.run(read_trace(args.trace), options)
     else:
         workload = _workload_from(args)
         result = run_workload(
-            workload, config, obs=obs, engine=args.engine, verify=args.verify
+            workload, config, obs=obs, engine=args.engine,
+            verify=args.verify, telemetry=telemetry,
         )
     print(result.summary_line())
     _print_engine_notes(result)
+    _write_telemetry_artifacts(args, result, config, obs)
     _write_metrics(args, obs)
     return 0
 
@@ -283,9 +370,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
     progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
     grid = run_grid_cached(
-        suite, list(args.policies), config, store, progress=progress, obs=obs
+        suite, list(args.policies), config, store, progress=progress, obs=obs,
+        telemetry=_telemetry_config_from(args),
     )
-    report = markdown_report(grid, title=f"GHRP reproduction report (seed {args.seed})")
+    report = markdown_report(
+        grid,
+        title=f"GHRP reproduction report (seed {args.seed})",
+        telemetry=obs.telemetry if obs.enabled else None,
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
     print(f"wrote report to {args.output} ({len(store)} cells cached in {args.store})")
@@ -359,6 +451,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         obs=obs,
         engine=args.engine,
         verify=args.verify,
+        telemetry=_telemetry_config_from(args),
     )
     print(figures.headline_numbers(
         grid, policies=tuple(grid.icache.policies)
@@ -366,7 +459,9 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(markdown_report(
-                grid, title=f"GHRP reproduction report (seed {args.seed})"
+                grid,
+                title=f"GHRP reproduction report (seed {args.seed})",
+                telemetry=obs.telemetry if obs.enabled else None,
             ))
         print(f"wrote report to {args.report}")
     if store is not None:
@@ -465,6 +560,66 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one workload under the sampling profiler; print phase shares."""
+    from repro.telemetry.profiler import LoopProfiler, render_profile
+
+    config = _config_from(args, args.policy)
+    workload = _workload_from(args)
+    profiler = LoopProfiler(interval_seconds=1.0 / args.sample_hz)
+    with profiler:
+        result = run_workload(workload, config, engine=args.engine)
+    report = profiler.report()
+    print(result.summary_line())
+    _print_engine_notes(result)
+    print(render_profile(report))
+    if args.out:
+        payload = report.to_dict()
+        payload["engine"] = args.engine
+        payload["policy"] = args.policy
+        payload["workload"] = f"{args.category}-{args.seed}"
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote profile to {args.out}")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare the newest perf-ledger entry against a baseline."""
+    from repro.telemetry.bench import (
+        diff_bench_entries,
+        read_bench_history,
+        render_bench_diff,
+    )
+
+    entries = read_bench_history(args.history)
+    if not entries:
+        print(f"repro-sim bench-diff: no entries in {args.history}")
+        return 2
+    latest = entries[-1]
+    if args.baseline == "first":
+        baseline = entries[0]
+    elif args.baseline == "prev":
+        baseline = entries[-2] if len(entries) > 1 else entries[0]
+    else:
+        baseline = entries[int(args.baseline)]
+    diffs = diff_bench_entries(
+        baseline, latest, tolerance=args.tolerance, metric=args.metric
+    )
+    print(render_bench_diff(
+        diffs, tolerance=args.tolerance, metric=args.metric,
+        annotate=args.annotate,
+    ))
+    regressions = [diff for diff in diffs if diff.regressed]
+    if regressions:
+        noun = "policy" if len(regressions) == 1 else "policies"
+        print(f"\n{len(regressions)} {noun} regressed beyond "
+              f"{100.0 * args.tolerance:.0f}% tolerance")
+        return 1
+    return 0
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.analysis import characterize_workload
 
@@ -492,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(simulate)
     _add_engine_argument(simulate)
     _add_verify_argument(simulate)
+    _add_telemetry_arguments(simulate)
     simulate.add_argument("--policy", choices=available_policies(), default="ghrp")
     simulate.add_argument("--warmup", type=int, default=100_000)
     simulate.set_defaults(func=_cmd_simulate)
@@ -535,6 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--store", default="results-store.json",
                         help="JSON result cache (resumable)")
     report.add_argument("--output", default="report.md")
+    report.add_argument("--telemetry", action="store_true",
+                        help="sample interval telemetry on freshly simulated "
+                             "cells and add MPKI-over-time + set-churn "
+                             "sections to the report")
+    _add_telemetry_interval_argument(report)
     _add_config_arguments(report)
     report.set_defaults(func=_cmd_report)
 
@@ -572,6 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deterministically fault a cell (raise|hang|crash|"
                            "garbage) on its first N attempts; repeatable "
                            "(for demos and harness testing)")
+    grid.add_argument("--telemetry", action="store_true",
+                      help="sample interval telemetry in every worker and "
+                           "merge the per-cell series into the parent "
+                           "(rendered by --report)")
+    _add_telemetry_interval_argument(grid)
     _add_config_arguments(grid)
     _add_engine_argument(grid)
     _add_verify_argument(grid)
@@ -616,6 +782,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(characterize)
     characterize.add_argument("--branches", type=int, default=20_000)
     characterize.set_defaults(func=_cmd_characterize)
+
+    profile = add_subcommand(
+        "profile", "sample the engine main loop; print per-phase self-time"
+    )
+    _add_workload_arguments(profile)
+    _add_config_arguments(profile)
+    _add_engine_argument(profile)
+    profile.add_argument("--policy", choices=available_policies(), default="ghrp")
+    profile.add_argument("--sample-hz", type=float, default=500.0,
+                         help="stack samples per second (default: 500)")
+    profile.add_argument("--out", default=None,
+                         help="also write the profile report as JSON here")
+    profile.set_defaults(func=_cmd_profile)
+
+    bench_diff = add_subcommand(
+        "bench-diff", "compare the perf ledger's newest entry to a baseline"
+    )
+    bench_diff.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                            help="perf ledger path (default: BENCH_HISTORY.jsonl)")
+    bench_diff.add_argument("--baseline", default="first",
+                            help="baseline entry: 'first', 'prev', or an index "
+                                 "(default: first)")
+    bench_diff.add_argument("--tolerance", type=float, default=0.10,
+                            help="allowed fractional slowdown before flagging "
+                                 "a regression (default: 0.10)")
+    bench_diff.add_argument("--metric", default="fast_accesses_per_sec",
+                            help="per-policy metric to compare "
+                                 "(default: fast_accesses_per_sec)")
+    bench_diff.add_argument("--annotate", choices=["github"], default=None,
+                            help="emit ::warning annotations for regressions")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
 
     check = add_subcommand(
         "check", "static analysis: determinism, bit-width, and contract rules"

@@ -55,6 +55,80 @@ def _per_workload_section(table: MPKITable, title: str) -> str:
     return f"### {title}\n\n" + _markdown_table(["workload"] + list(policies), rows)
 
 
+def _downsample(values: list[float], buckets: int) -> list[float]:
+    """Mean-pool ``values`` into at most ``buckets`` columns."""
+    if len(values) <= buckets:
+        return list(values)
+    pooled = []
+    for i in range(buckets):
+        lo = i * len(values) // buckets
+        hi = max((i + 1) * len(values) // buckets, lo + 1)
+        chunk = values[lo:hi]
+        pooled.append(sum(chunk) / len(chunk))
+    return pooled
+
+
+def _telemetry_mpki_section(telemetry: dict, structure: str, title: str,
+                            buckets: int = 10) -> str:
+    """MPKI-over-time table: one row per cell, mean-pooled interval columns."""
+    rows = []
+    width = 0
+    series_by_cell = {}
+    for label in sorted(telemetry):
+        run = telemetry[label]
+        series = [
+            sample[structure]["mpki"] for sample in run.get("samples", ())
+        ]
+        pooled = _downsample(series, buckets)
+        series_by_cell[label] = pooled
+        width = max(width, len(pooled))
+    if width == 0:
+        return f"### {title}\n\n(no interval samples)"
+    for label, pooled in series_by_cell.items():
+        rows.append(
+            [label]
+            + [f"{value:.3f}" for value in pooled]
+            + [""] * (width - len(pooled))
+        )
+    headers = ["cell"] + [f"t{i}" for i in range(width)]
+    note = (
+        "Each `t` column mean-pools consecutive interval samples "
+        "(earliest on the left); intervals are fixed counts of branch "
+        "records, so columns align across engines."
+    )
+    return f"### {title}\n\n" + note + "\n\n" + _markdown_table(headers, rows)
+
+
+def _telemetry_heatmap_section(telemetry: dict, buckets: int = 8) -> str:
+    """Set-churn heatmap: replacement churn summed over set-index ranges."""
+    rows = []
+    for label in sorted(telemetry):
+        heatmap = telemetry[label].get("heatmap") or {}
+        icache_map = heatmap.get("icache")
+        if not icache_map:
+            continue
+        churn = icache_map.get("churn", [])
+        sets = len(churn)
+        if not sets:
+            continue
+        pooled = [
+            sum(churn[i * sets // buckets:(i + 1) * sets // buckets])
+            for i in range(min(buckets, sets))
+        ]
+        rows.append([label] + [str(value) for value in pooled])
+    if not rows:
+        return "### I-cache set churn\n\n(heatmap accumulators disabled)"
+    width = max(len(row) - 1 for row in rows)
+    headers = ["cell"] + [f"sets[{i}]" for i in range(width)]
+    note = (
+        "Tag-change counts sampled at interval boundaries, summed over "
+        "equal set-index ranges: hot ranges churn, cold ranges pin."
+    )
+    return "### I-cache set churn\n\n" + note + "\n\n" + _markdown_table(
+        headers, rows
+    )
+
+
 def _failed_cells_section(grid: GridResult) -> str:
     """Annotate the gaps of a partial grid (supervised runs only)."""
     rows = [
@@ -79,12 +153,19 @@ def _failed_cells_section(grid: GridResult) -> str:
     )
 
 
-def markdown_report(grid: GridResult, title: str = "Replacement-policy study") -> str:
+def markdown_report(
+    grid: GridResult,
+    title: str = "Replacement-policy study",
+    telemetry: dict | None = None,
+) -> str:
     """Render a full markdown report for a simulation grid.
 
     A partial grid (one with :class:`FailedCell` entries from the
     supervised executor) renders normally from the surviving cells, with
-    a trailing section annotating the gaps.
+    a trailing section annotating the gaps.  ``telemetry`` maps cell
+    labels (``policy/workload``) to finished interval-series dicts (as
+    collected on ``Observability.telemetry``); when given, the report
+    gains MPKI-over-time and set-churn sections.
     """
     icache = grid.icache
     btb = grid.btb
@@ -150,6 +231,17 @@ def markdown_report(grid: GridResult, title: str = "Replacement-policy study") -
     sections.append("")
     sections.append(_per_workload_section(btb, "Per-workload BTB MPKI"))
     sections.append("")
+    if telemetry:
+        sections.append(
+            _telemetry_mpki_section(telemetry, "icache", "I-cache MPKI over time")
+        )
+        sections.append("")
+        sections.append(
+            _telemetry_mpki_section(telemetry, "btb", "BTB MPKI over time")
+        )
+        sections.append("")
+        sections.append(_telemetry_heatmap_section(telemetry))
+        sections.append("")
     if grid.failed:
         sections.append(_failed_cells_section(grid))
         sections.append("")

@@ -234,7 +234,8 @@ def _warmup_for(workload: Workload, config: FrontEndConfig) -> int:
 
 
 def _run_options_for(
-    workload: Workload, config: FrontEndConfig, warmup: int, verify: str
+    workload: Workload, config: FrontEndConfig, warmup: int, verify: str,
+    telemetry=None,
 ) -> RunOptions:
     """Cell run options; verified runs carry the provenance the sentinel's
     repro bundles need (workload spec + seed, front-end config)."""
@@ -248,6 +249,7 @@ def _run_options_for(
         warmup_instructions=warmup,
         max_instructions=config.max_instructions,
         verify=verify,
+        telemetry=telemetry,
         **refs,
     )
 
@@ -258,6 +260,7 @@ def run_workload(
     obs: Observability = NULL_OBS,
     engine: str = "reference",
     verify: str = "off",
+    telemetry=None,
 ):
     """Simulate one workload under ``config``; returns SimulationResult."""
     with obs.span("setup"):
@@ -266,7 +269,7 @@ def run_workload(
     with obs.span("simulate"):
         return frontend.run(
             workload.records(),
-            _run_options_for(workload, config, warmup, verify),
+            _run_options_for(workload, config, warmup, verify, telemetry),
         )
 
 
@@ -277,6 +280,7 @@ def run_cell(
     obs: Observability = NULL_OBS,
     engine: str = "reference",
     verify: str = "off",
+    telemetry=None,
 ) -> CellResult:
     """Simulate one (policy, workload) cell with fresh front-end state."""
     cell_config = config.with_overrides(icache_policy=policy, btb_policy=policy)
@@ -295,9 +299,17 @@ def run_cell(
     with obs.span("simulate"):
         result = frontend.run(
             workload.records(),
-            _run_options_for(workload, cell_config, warmup, verify),
+            _run_options_for(workload, cell_config, warmup, verify, telemetry),
         )
     simulate_seconds = time.perf_counter() - simulate_started
+
+    if result.telemetry is not None:
+        # The interval series is not part of the (store-persisted)
+        # CellResult schema; it travels on the observability facade and
+        # merges across workers like metrics and spans do.
+        obs.record_telemetry(
+            f"{policy}/{workload.name}", result.telemetry.to_dict()
+        )
 
     with obs.span("collect"):
         cell = CellResult(
@@ -330,6 +342,7 @@ def run_grid(
     obs: Observability = NULL_OBS,
     engine: str = "reference",
     verify: str = "off",
+    telemetry=None,
 ) -> GridResult:
     """Run every (policy, workload) cell; optionally report progress."""
     config = config or FrontEndConfig()
@@ -337,7 +350,8 @@ def run_grid(
     for workload in workloads:
         for policy in policies:
             cell = run_cell(
-                workload, policy, config, obs=obs, engine=engine, verify=verify
+                workload, policy, config, obs=obs, engine=engine,
+                verify=verify, telemetry=telemetry,
             )
             grid.add(cell)
             if progress is not None:

@@ -260,12 +260,15 @@ def run_grid_cached(
     store: ResultStore,
     progress=None,
     obs: Observability = NULL_OBS,
+    telemetry=None,
 ) -> GridResult:
     """run_grid with read-through caching into ``store``.
 
     Cells already in the store are returned instantly; new cells are
     simulated, recorded, and persisted (the store is saved after every
     new cell, so an interrupted grid loses at most one simulation).
+    Interval telemetry (``telemetry=TelemetryConfig(...)``) is collected
+    for freshly simulated cells only — cached cells carry no series.
 
     For fault tolerance on top of caching — worker isolation, per-cell
     timeouts, retries — see
@@ -276,7 +279,9 @@ def run_grid_cached(
         for policy in policies:
             cell = store.get(workload, policy, config)
             if cell is None:
-                cell = run_cell(workload, policy, config, obs=obs)
+                cell = run_cell(
+                    workload, policy, config, obs=obs, telemetry=telemetry
+                )
                 store.put(workload, policy, config, cell)
                 store.save()
             grid.add(cell)

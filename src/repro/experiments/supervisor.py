@@ -130,7 +130,8 @@ def _worker_main(conn: Connection) -> None:
 
     Runs in a child process.  Each task is
     ``(task_id, workload, policy, config, attempt, fault_plan, obs_on,
-    engine, verify)``; the reply is ``("ok", task_id, cell, obs_summary)``
+    engine, verify, telemetry)``; the reply is
+    ``("ok", task_id, cell, obs_summary)``
     or ``("error", task_id, error_type, message, traceback, obs_summary,
     bundle_path)`` — ``bundle_path`` being the sentinel's repro bundle for
     the failed attempt, when one was captured.  A ``None`` task (or a
@@ -144,13 +145,14 @@ def _worker_main(conn: Connection) -> None:
         if task is None:
             return
         (task_id, workload, policy, config, attempt, fault_plan, obs_on,
-         engine, verify) = task
+         engine, verify, telemetry) = task
         obs = Observability() if obs_on else NULL_OBS
         try:
             if fault_plan is not None:
                 fault_plan.before_cell(policy, workload.name, attempt)
             cell = run_cell(
-                workload, policy, config, obs=obs, engine=engine, verify=verify
+                workload, policy, config, obs=obs, engine=engine,
+                verify=verify, telemetry=telemetry,
             )
             if fault_plan is not None:
                 cell = fault_plan.mangle_result(policy, workload.name, attempt, cell)
@@ -213,13 +215,13 @@ class _Worker:
     def assign(self, task: _Task, config: FrontEndConfig,
                fault_plan: FaultPlan | None, obs_on: bool,
                now: float, timeout: float | None,
-               engine: str, verify: str) -> None:
+               engine: str, verify: str, telemetry=None) -> None:
         task.started_at = now
         self.task = task
         self.deadline = None if timeout is None else now + timeout
         self.conn.send((
             task.slot, task.workload, task.policy, config,
-            task.attempt, fault_plan, obs_on, engine, verify,
+            task.attempt, fault_plan, obs_on, engine, verify, telemetry,
         ))
 
     def kill(self) -> None:
@@ -260,6 +262,7 @@ class _Supervisor:
         sleep: Callable[[float], None],
         engine: str = "reference",
         verify: str = "off",
+        telemetry=None,
     ) -> None:
         self.config = config
         self.sup = supervisor
@@ -269,6 +272,7 @@ class _Supervisor:
         self.obs = obs
         self.engine = engine
         self.verify = verify
+        self.telemetry = telemetry
         self.clock = clock
         self.sleep = sleep
         self.context = multiprocessing.get_context(supervisor.start_method)
@@ -310,7 +314,7 @@ class _Supervisor:
                 worker.assign(
                     task, self.config, self.fault_plan,
                     self.obs.enabled, now, self.sup.cell_timeout_seconds,
-                    self.engine, self.verify,
+                    self.engine, self.verify, self.telemetry,
                 )
             except (BrokenPipeError, OSError):
                 # The idle worker died before we could use it; replace it
@@ -501,6 +505,7 @@ def run_grid_supervised(
     sleep: Callable[[float], None] = time.sleep,
     engine: str = "reference",
     verify: str = "off",
+    telemetry=None,
 ) -> GridResult:
     """Run every (policy, workload) cell under the supervised worker pool.
 
@@ -515,7 +520,7 @@ def run_grid_supervised(
     supervisor = supervisor or SupervisorConfig()
     executor = _Supervisor(
         config, supervisor, store, fault_plan, progress, obs, clock, sleep,
-        engine=engine, verify=verify,
+        engine=engine, verify=verify, telemetry=telemetry,
     )
     obs.inc("supervisor.cells_total",
             len(workloads) * len(policies) or 0)

@@ -93,6 +93,9 @@ class FrontEnd:
         self.ras = ras
         self.ghrp = ghrp
         self.obs = obs
+        # Interval-telemetry recorder; stays None unless RunOptions asks
+        # for sampling, so the default hot loop carries no telemetry code.
+        self.telemetry = None
         self.wrong_path_depth = wrong_path_depth
         self.wrong_path_accesses = 0
         self.degraded = False
@@ -165,6 +168,24 @@ class FrontEnd:
             decrements=tables.decrements,
         )
 
+    def _setup_telemetry(self, options: RunOptions) -> None:
+        """Attach an :class:`~repro.telemetry.interval.IntervalRecorder`
+        when the run options request sampling; otherwise leave the
+        telemetry reference None so the hot loops skip the pipeline."""
+        if options.telemetry is None:
+            self.telemetry = None
+            return
+        from repro.telemetry.interval import IntervalRecorder
+
+        self.telemetry = IntervalRecorder(
+            options.telemetry,
+            icache=self.icache,
+            btb=self.btb,
+            ghrp=self.ghrp,
+            obs=self.obs,
+            sync=self._before_stats_collect,
+        )
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -198,6 +219,7 @@ class FrontEnd:
             options = resolve_run_options(
                 options, warmup_instructions, max_instructions
             )
+        self._setup_telemetry(options)
         rs = _RunState(
             warmup_boundary=options.warmup_instructions,
             instruction_limit=options.max_instructions,
@@ -221,6 +243,7 @@ class FrontEnd:
         icache_port = self._icache_port
         indirect = self.indirect
         obs = self.obs
+        telemetry = self.telemetry
         block_size = icache.geometry.block_size
         simulate_wrong_path = self.wrong_path_depth > 0
         stream = FetchBlockStream(records)
@@ -281,6 +304,13 @@ class FrontEnd:
                     )
                     self._emit_table_saturation(phase="warmup")
 
+            # Interval boundary: both engines test the same branch count,
+            # so the sample series is engine-independent.
+            if telemetry is not None and stream.branches_seen >= telemetry.next_boundary:
+                telemetry.take_sample(
+                    stream.instructions_seen, stream.branches_seen
+                )
+
             if instruction_limit is not None and stream.instructions_seen >= instruction_limit:
                 rs.done = True
                 break
@@ -300,6 +330,8 @@ class FrontEnd:
         rs.phase_span = None
         stats_span = obs.start_span("stats-collect")
         self._before_stats_collect()
+        if self.telemetry is not None:
+            self.telemetry.finish(rs.instructions_seen, rs.branches_seen)
         icache.stats.instructions = rs.instructions_seen
         btb.stats.instructions = rs.instructions_seen
         if rs.icache_warm is None:
@@ -320,6 +352,9 @@ class FrontEnd:
     def _collect_result(self, rs: _RunState) -> SimulationResult:
         icache, btb = self.icache, self.btb
         indirect = self.indirect
+        telemetry = None
+        if self.telemetry is not None:
+            telemetry = self.telemetry.export()
         return SimulationResult(
             instructions=rs.instructions_seen,
             branches=rs.branches_seen,
@@ -336,6 +371,7 @@ class FrontEnd:
             indirect=indirect.stats if indirect is not None else None,
             degraded=self.degraded,
             fast_path_fallback_reason=self.fast_path_fallback_reason,
+            telemetry=telemetry,
         )
 
     def run_with_config_warmup(

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.frontend.config import FrontEndConfig
     from repro.sentinel.faults import KernelFault
+    from repro.telemetry.interval import TelemetryConfig
     from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["RunOptions", "WorkloadRef", "VERIFY_MODES"]
@@ -92,6 +93,11 @@ class RunOptions:
         The :class:`~repro.frontend.config.FrontEndConfig` the front end
         was built from; attached alongside ``workload_ref`` so bundles
         are self-contained.
+    telemetry:
+        Interval-telemetry sampling configuration (see
+        :class:`~repro.telemetry.interval.TelemetryConfig`).  ``None``
+        (the default) disables sampling entirely and keeps the run
+        byte-identical to a build without the telemetry package.
     """
 
     warmup_instructions: int = 0
@@ -104,6 +110,7 @@ class RunOptions:
     inject_kernel_fault: "KernelFault | None" = None
     workload_ref: "WorkloadRef | None" = None
     config_ref: "FrontEndConfig | None" = None
+    telemetry: "TelemetryConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.warmup_instructions < 0:

@@ -42,6 +42,12 @@ class SimulationResult:
     fast_path_fallback_reason: str | None = None
     """Why ``build_frontend(engine="fast")`` fell back to the reference
     engine (None when the requested engine actually ran)."""
+    telemetry: object | None = None
+    """The finished interval-telemetry series
+    (:class:`~repro.telemetry.interval.TelemetryRun`) when the run was
+    sampled via ``RunOptions(telemetry=...)``; None otherwise, so
+    ``dataclasses.asdict`` comparisons across unsampled runs are
+    unaffected."""
 
     @property
     def icache_mpki(self) -> float:

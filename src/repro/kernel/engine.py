@@ -160,6 +160,7 @@ class FastFrontEnd(FrontEnd):
             options = resolve_run_options(
                 options, warmup_instructions, max_instructions
             )
+        self._setup_telemetry(options)
         self._reload_kernels()
         rs = _RunState(
             warmup_boundary=options.warmup_instructions,
@@ -194,6 +195,7 @@ class FastFrontEnd(FrontEnd):
         indirect = self.indirect
         obs = self.obs
         obs_enabled = obs.enabled
+        telemetry = self.telemetry
 
         block_size = icache.geometry.block_size
         block_mask = ~(block_size - 1)
@@ -288,6 +290,12 @@ class FastFrontEnd(FrontEnd):
                         btb_misses=rs.btb_warm.misses,
                     )
                     self._emit_table_saturation(phase="warmup")
+
+            # Interval boundary: same branch-count test as the reference
+            # engine, so samples land on identical records.  take_sample
+            # syncs the kernels (idempotent) before reading statistics.
+            if telemetry is not None and branches_seen >= telemetry.next_boundary:
+                telemetry.take_sample(instructions_seen, branches_seen)
 
             if instruction_limit is not None and instructions_seen >= instruction_limit:
                 rs.done = True

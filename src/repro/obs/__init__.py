@@ -71,7 +71,7 @@ class Observability:
     forgetting the guard costs speed, never correctness.
     """
 
-    __slots__ = ("enabled", "metrics", "spans", "tracer")
+    __slots__ = ("enabled", "metrics", "spans", "tracer", "telemetry")
 
     def __init__(
         self,
@@ -84,6 +84,9 @@ class Observability:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = spans if spans is not None else SpanTracker()
         self.tracer = tracer
+        # Per-cell interval-telemetry series (label -> TelemetryRun dict),
+        # recorded by the experiment runner and merged across workers.
+        self.telemetry: dict[str, dict] = {}
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -125,6 +128,17 @@ class Observability:
         if span is not None:
             self.spans.finish(span)
 
+    # -- telemetry ------------------------------------------------------
+    def record_telemetry(self, label: str, run: dict | None) -> None:
+        """Keep one cell's finished interval series under ``label``.
+
+        ``run`` is a :meth:`~repro.telemetry.interval.TelemetryRun.
+        to_dict` payload; empty or None series are dropped so disabled
+        runs leave no trace.
+        """
+        if self.enabled and run:
+            self.telemetry[label] = run
+
     # -- cross-process merge --------------------------------------------
     def merge_child(self, summary: dict, label: str | None = None) -> None:
         """Fold a child run's :meth:`summary` into this facade.
@@ -143,6 +157,8 @@ class Observability:
         spans = summary.get("spans")
         if spans:
             self.spans.graft(spans, under=label)
+        for cell_label, run in (summary.get("telemetry") or {}).items():
+            self.telemetry[cell_label] = run
 
     # -- readout --------------------------------------------------------
     def summary(self) -> dict:
@@ -151,6 +167,8 @@ class Observability:
             "metrics": self.metrics.snapshot(),
             "spans": self.spans.tree(),
         }
+        if self.telemetry:
+            summary["telemetry"] = dict(sorted(self.telemetry.items()))
         if self.tracer is not None:
             summary["events"] = self.tracer.summary()
         return summary
@@ -158,6 +176,9 @@ class Observability:
     def render(self) -> str:
         """Human-readable metrics + timing-tree summary."""
         parts = [self.metrics.render(), self.spans.render()]
+        if self.telemetry:
+            cells = ", ".join(sorted(self.telemetry))
+            parts.append(f"telemetry: {len(self.telemetry)} cell series ({cells})")
         if self.tracer is not None:
             trace = self.tracer.summary()
             kinds = ", ".join(

@@ -361,6 +361,12 @@ class _Verifier:
                 at_branch=trs.branches_seen,
                 bundle=getattr(error, "bundle_path", None),
             )
+        if frontend.telemetry is not None:
+            # Hand the interval recorder to the takeover engine so
+            # sampling (and the final flush in _finish_run) follows the
+            # structures that actually finish the run.
+            takeover.telemetry = frontend.telemetry
+            takeover.telemetry.rebind(takeover)
         takeover._run_window(chain(chain.from_iterable(windows), rest), trs)
         takeover.degraded = True
         # Re-point the fast front end at the structures that actually

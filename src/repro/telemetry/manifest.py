@@ -1,0 +1,126 @@
+"""The JSON run-manifest: one self-describing artifact per run.
+
+A manifest answers "what exactly produced these numbers?" — engine,
+policies, workload identity, a content digest of the full configuration,
+the repository revision, wall-clock phase spans, final statistics, and
+the interval telemetry series.  CI uploads one per verify-smoke run so a
+regression can be traced to a config or code change without re-running
+anything.
+
+Time and git access live here, *outside* the kernel directories, so the
+determinism lint rules (no wall-clock in simulation code) keep holding
+for the engines themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+
+__all__ = [
+    "config_digest",
+    "git_revision",
+    "build_run_manifest",
+    "write_run_manifest",
+]
+
+MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
+
+
+def config_digest(config) -> str:
+    """A stable content hash of a front-end configuration.
+
+    Canonical JSON (sorted keys, no whitespace variance) over the
+    dataclass form, so two structurally equal configs always digest the
+    same and any field change shows up as a new digest.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(root: str | None = None) -> str | None:
+    """The current commit hash, or None when git is unavailable."""
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _result_summary(result) -> dict:
+    return {
+        "instructions": result.instructions,
+        "branches": result.branches,
+        "warmup_instructions": result.warmup_instructions,
+        "icache_mpki": result.icache_mpki,
+        "btb_mpki": result.btb_mpki,
+        "branch_mpki": result.branch_mpki,
+        "direction_accuracy": result.direction_accuracy,
+        "degraded": result.degraded,
+        "fast_path_fallback_reason": result.fast_path_fallback_reason,
+    }
+
+
+def build_run_manifest(
+    *,
+    result,
+    config,
+    engine: str,
+    workload_name: str | None = None,
+    seed: int | None = None,
+    obs=None,
+    argv: list[str] | None = None,
+) -> dict:
+    """Assemble the manifest dict for one finished simulation.
+
+    ``result`` is a :class:`~repro.frontend.results.SimulationResult`;
+    ``obs`` (optional) contributes the wall-clock span tree and metrics
+    snapshot when observability was enabled for the run.
+    """
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "engine": engine,
+        "workload": workload_name,
+        "seed": seed,
+        "icache_policy": config.icache_policy,
+        "btb_policy": config.effective_btb_policy,
+        "config_digest": config_digest(config),
+        "git_revision": git_revision(),
+        "argv": list(argv) if argv is not None else None,
+        "result": _result_summary(result),
+        "telemetry": (
+            result.telemetry.to_dict() if result.telemetry is not None else None
+        ),
+    }
+    if obs is not None and obs.enabled:
+        manifest["spans"] = obs.spans.tree()
+        manifest["metrics"] = obs.metrics.snapshot()
+    return manifest
+
+
+def write_run_manifest(path, manifest: dict) -> pathlib.Path:
+    """Write ``manifest`` as pretty JSON, creating parent directories."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return target

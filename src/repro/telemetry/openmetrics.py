@@ -1,0 +1,104 @@
+"""OpenMetrics text rendering for a finished run.
+
+Renders a :meth:`repro.obs.MetricsRegistry.snapshot` (counters, gauges,
+histograms) plus an optional interval series into the OpenMetrics text
+exposition format, so any Prometheus-compatible toolchain can scrape a
+run artifact.  Output is deterministic: metric names are sanitized the
+same way every time and every family is emitted in sorted order, so two
+identical runs diff clean.
+"""
+
+from __future__ import annotations
+
+__all__ = ["sanitize_metric_name", "render_openmetrics"]
+
+# Interval-sample columns exported as per-interval series, keyed by
+# (structure, field) -> metric family suffix.
+_SERIES_COLUMNS = (
+    ("icache", "mpki", "interval_icache_mpki"),
+    ("icache", "misses", "interval_icache_misses"),
+    ("btb", "mpki", "interval_btb_mpki"),
+    ("btb", "misses", "interval_btb_misses"),
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map a dotted registry name onto the OpenMetrics grammar.
+
+    Dots and dashes become underscores; anything else outside
+    ``[a-zA-Z0-9_]`` is dropped.  A leading digit gets an underscore.
+    """
+    cleaned = []
+    for ch in name:
+        if ch.isalnum() or ch == "_":
+            cleaned.append(ch)
+        elif ch in ".-/ ":
+            cleaned.append("_")
+    text = "".join(cleaned) or "unnamed"
+    if text[0].isdigit():
+        text = "_" + text
+    return f"{prefix}_{text}" if prefix else text
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: dict, telemetry=None, prefix: str = "repro") -> str:
+    """Render a metrics snapshot (and optional telemetry run) to text.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot` output; ``telemetry``
+    is a :class:`~repro.telemetry.interval.TelemetryRun` or its
+    ``to_dict`` form.  Returns the full exposition including the ``# EOF``
+    terminator.
+    """
+    lines: list[str] = []
+
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counters[name])}")
+
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):
+        data = histograms[name]
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(data.get("bounds", ()))
+        counts = list(data.get("counts", ()))
+        for i, bound in enumerate(bounds):
+            cumulative += counts[i] if i < len(counts) else 0
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data.get("count", 0)}')
+        lines.append(f"{metric}_sum {_format_value(data.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {data.get('count', 0)}")
+
+    if telemetry is not None:
+        data = telemetry if isinstance(telemetry, dict) else telemetry.to_dict()
+        samples = data.get("samples") or ()
+        for structure, column, suffix in _SERIES_COLUMNS:
+            metric = sanitize_metric_name(suffix, prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            for sample in samples:
+                value = sample[structure][column]
+                lines.append(
+                    f'{metric}{{interval="{sample["interval"]}"}} '
+                    f"{_format_value(value)}"
+                )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

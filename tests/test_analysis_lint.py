@@ -391,6 +391,124 @@ class TestSaturatingCounter:
 
 
 # ----------------------------------------------------------------------
+# Telemetry guard rule
+# ----------------------------------------------------------------------
+class TestTelemetryGuard:
+    def test_unguarded_call_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        self.telemetry.take_sample(1, 2)\n",
+        )
+        assert rule_ids(result) == ["det-telemetry-off"]
+        assert result.findings[0].line == 3
+
+    def test_guarded_if_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "frontend/engine.py",
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        if self.telemetry is not None:\n"
+            "            self.telemetry.finish(1, 2)\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_hoisted_local_with_and_guard_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def loop(telemetry, branches):\n"
+            "    if telemetry is not None and branches >= telemetry.next_boundary:\n"
+            "        telemetry.take_sample(0, branches)\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_conditional_expression_guard_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "frontend/engine.py",
+            "def collect(self):\n"
+            "    return self.telemetry.export() "
+            "if self.telemetry is not None else None\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_guard_on_wrong_receiver_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def run(self, other):\n"
+            "    if other.telemetry is not None:\n"
+            "        self.telemetry.finish(1, 2)\n",
+        )
+        assert rule_ids(result) == ["det-telemetry-off"]
+
+    def test_else_branch_not_covered_by_guard(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def run(self):\n"
+            "    if self.telemetry is not None:\n"
+            "        pass\n"
+            "    else:\n"
+            "        self.telemetry.finish(1, 2)\n",
+        )
+        assert rule_ids(result) == ["det-telemetry-off"]
+
+    def test_and_short_circuit_guard_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def run(telemetry):\n"
+            "    return telemetry is not None and telemetry.flush()\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_truthiness_guard_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def run(telemetry):\n"
+            "    if telemetry:\n"
+            "        telemetry.flush()\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_non_kernel_module_ignored(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "telemetry/interval.py",
+            "def run(self):\n"
+            "    self.telemetry.take_sample(1, 2)\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_setup_helper_name_not_a_receiver(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "frontend/engine.py",
+            "def run(self, options):\n"
+            "    self._setup_telemetry(options)\n",
+        )
+        assert rule_ids(result) == []
+
+    def test_suppression(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "kernel/engine.py",
+            "def run(self):\n"
+            "    # repro: allow(det-telemetry-off) -- fixture\n"
+            "    self.telemetry.take_sample(1, 2)\n",
+        )
+        assert rule_ids(result) == []
+        assert [finding.rule for finding in result.suppressed] \
+            == ["det-telemetry-off"]
+
+
+# ----------------------------------------------------------------------
 # Contract rules
 # ----------------------------------------------------------------------
 class TestModuleState:

@@ -21,6 +21,8 @@ API_EXPORTS = frozenset(
         "build_policies",
         "FrontEndConfig",
         "SimulationResult",
+        "TelemetryConfig",
+        "TelemetryRun",
     }
 )
 
@@ -42,6 +44,8 @@ TOP_LEVEL_EXPORTS = frozenset(
         "simulate",
         "sweep",
         "SimulationResult",
+        "TelemetryConfig",
+        "TelemetryRun",
         "available_policies",
         "make_policy",
         "BranchRecord",

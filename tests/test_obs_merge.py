@@ -1,0 +1,170 @@
+"""Cross-process observability merging and registry round-trips.
+
+The supervised grid executor ships each worker's ``Observability.summary()``
+over the result pipe and folds it into the parent with ``merge_child``;
+these tests pin down that path — empty children, nested span trees,
+histogram-bearing registries, telemetry series — plus the determinism of
+the registry readouts (``snapshot``/``render`` are sorted, and a
+snapshot merged into a fresh registry reproduces itself exactly).
+"""
+
+import json
+
+from repro.obs import MetricsRegistry, Observability, SpanTracker
+
+
+def _child_with_everything():
+    child = Observability()
+    child.inc("icache.misses", 5)
+    child.inc("worker.cells", 1)
+    child.set_gauge("run.mpki", 3.25)
+    child.observe("cell.seconds", 2.0, bounds=(1, 4))
+    child.observe("cell.seconds", 9.0, bounds=(1, 4))
+    with child.span("cell"):
+        with child.span("setup"):
+            pass
+        with child.span("simulate"):
+            pass
+    child.record_telemetry(
+        "ghrp/w0", {"interval_branches": 100, "samples": [{"interval": 0}]}
+    )
+    return child
+
+
+class TestMergeChild:
+    def test_empty_child_is_a_noop(self):
+        parent = Observability()
+        parent.inc("kept", 2)
+        parent.merge_child({})
+        parent.merge_child({"metrics": {}, "spans": []})
+        summary = parent.summary()
+        assert summary["metrics"]["counters"] == {"kept": 2}
+        assert summary["spans"] == []
+        assert "telemetry" not in summary
+
+    def test_disabled_parent_ignores_children(self):
+        parent = Observability.disabled()
+        parent.merge_child(_child_with_everything().summary())
+        assert len(parent.metrics) == 0
+        assert parent.telemetry == {}
+
+    def test_counters_add_and_gauges_overwrite(self):
+        parent = Observability()
+        parent.inc("icache.misses", 10)
+        parent.set_gauge("run.mpki", 1.0)
+        parent.merge_child(_child_with_everything().summary())
+        assert parent.metrics.counter("icache.misses") == 15
+        assert parent.metrics.gauge("run.mpki") == 3.25
+
+    def test_histograms_merge_bucketwise(self):
+        parent = Observability()
+        parent.observe("cell.seconds", 0.5, bounds=(1, 4))
+        parent.merge_child(_child_with_everything().summary())
+        histogram = parent.metrics.histogram("cell.seconds")
+        assert histogram.count == 3
+        assert histogram.total == 11.5
+        assert histogram.min == 0.5
+        assert histogram.max == 9.0
+        assert histogram.counts == [1, 1, 1]  # <=1 (0.5), <=4 (2.0), >4 (9.0)
+
+    def test_nested_spans_graft_under_label(self):
+        parent = Observability()
+        parent.merge_child(
+            _child_with_everything().summary(), label="worker:0"
+        )
+        tree = parent.spans.tree()
+        assert len(tree) == 1
+        wrapper = tree[0]
+        assert wrapper["name"] == "worker:0"
+        assert [node["name"] for node in wrapper["children"]] == ["cell"]
+        grandchildren = [
+            node["name"] for node in wrapper["children"][0]["children"]
+        ]
+        assert grandchildren == ["setup", "simulate"]
+
+    def test_telemetry_series_travel_with_the_summary(self):
+        parent = Observability()
+        parent.merge_child(_child_with_everything().summary())
+        assert "ghrp/w0" in parent.telemetry
+        assert parent.summary()["telemetry"]["ghrp/w0"]["interval_branches"] \
+            == 100
+        assert "telemetry: 1 cell series" in parent.render()
+
+    def test_two_children_accumulate(self):
+        parent = Observability()
+        first = _child_with_everything()
+        second = _child_with_everything()
+        second.telemetry = {"lru/w1": {"interval_branches": 100, "samples": []}}
+        parent.merge_child(first.summary(), label="worker:0")
+        parent.merge_child(second.summary(), label="worker:1")
+        assert parent.metrics.counter("worker.cells") == 2
+        assert sorted(parent.telemetry) == ["ghrp/w0", "lru/w1"]
+        assert len(parent.spans.tree()) == 2
+
+
+class TestSpanGraft:
+    def test_graft_without_label_extends_roots(self):
+        source = SpanTracker()
+        with source.span("a"):
+            with source.span("b"):
+                pass
+        target = SpanTracker()
+        target.graft(source.tree())
+        assert [node["name"] for node in target.tree()] == ["a"]
+
+    def test_graft_empty_tree(self):
+        tracker = SpanTracker()
+        tracker.graft([], under="worker:7")
+        tree = tracker.tree()
+        assert len(tree) == 1
+        assert tree[0]["name"] == "worker:7"
+        assert tree[0]["children"] == []
+
+    def test_wrapper_seconds_sum_children(self):
+        source = SpanTracker(clock=iter(range(100)).__next__)
+        with source.span("a"):
+            pass
+        with source.span("b"):
+            pass
+        target = SpanTracker()
+        target.graft(source.tree(), under="w")
+        wrapper = target.tree()[0]
+        assert wrapper["seconds"] == sum(
+            child["seconds"] for child in wrapper["children"]
+        )
+
+
+class TestRegistryDeterminism:
+    @staticmethod
+    def _populated():
+        registry = MetricsRegistry()
+        registry.inc("zeta.last", 3)
+        registry.inc("alpha.first", 1)
+        registry.set_gauge("mid.gauge", 0.5)
+        registry.observe("hist.b", 2.0, bounds=(1, 4))
+        registry.observe("hist.a", 7.0, bounds=(1, 4))
+        return registry
+
+    def test_snapshot_and_render_are_sorted(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha.first", "zeta.last"]
+        assert list(snapshot["histograms"]) == ["hist.a", "hist.b"]
+        rendered = registry.render()
+        assert rendered.index("alpha.first") < rendered.index("zeta.last")
+        assert rendered.index("hist.a") < rendered.index("hist.b")
+
+    def test_snapshot_merge_round_trip_is_identity(self):
+        snapshot = self._populated().snapshot()
+        fresh = MetricsRegistry()
+        fresh.merge_snapshot(snapshot)
+        assert fresh.snapshot() == snapshot
+        # And the snapshot is JSON-stable: a dump/load cycle merges to
+        # the same bytes, which is what the worker result pipe relies on.
+        recycled = MetricsRegistry()
+        recycled.merge_snapshot(json.loads(json.dumps(snapshot)))
+        assert json.dumps(recycled.snapshot(), sort_keys=True) \
+            == json.dumps(snapshot, sort_keys=True)
+
+    def test_render_is_reproducible(self):
+        assert self._populated().render() == self._populated().render()

@@ -1,0 +1,152 @@
+"""Differential proof of the telemetry-off contract.
+
+The pipeline's headline guarantee (docs/observability.md): with
+``RunOptions.telemetry=None`` both engines produce results byte-identical
+to a build where the pipeline does not exist, and with telemetry *on*
+the final statistics are still identical to the off run — the recorder
+observes, never perturbs.  Three policies cover the interesting state
+machines: LRU (no predictor), SDBP (sampler + dead-block predictor),
+GHRP (global-history predictor, the paper's contribution).
+
+Sample series are also asserted identical across engines: branch records
+are the interval clock precisely so boundaries land on the same records
+on either path.
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import build_frontend
+from repro.frontend.options import RunOptions
+from repro.telemetry import TelemetryConfig
+from repro.workloads.spec import Category
+from repro.workloads.suite import make_workload
+
+POLICIES = ("lru", "sdbp", "ghrp")
+
+
+def _workload():
+    return make_workload(
+        "tele-diff", Category.SHORT_SERVER, seed=11, trace_scale=0.05
+    )
+
+
+def _run(policy, engine, telemetry=None, verify="off"):
+    workload = _workload()
+    config = FrontEndConfig(icache_policy=policy, btb_policy=policy)
+    options = RunOptions.from_config_warmup(
+        config, workload.instruction_count()
+    )
+    options = replace(options, telemetry=telemetry, verify=verify)
+    frontend = build_frontend(config, engine=engine)
+    return frontend.run(workload.records(), options)
+
+
+def _stats_dict(result):
+    """The full result as a dict, with the telemetry series removed."""
+    data = asdict(result)
+    data.pop("telemetry")
+    return data
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestTelemetryOff:
+    def test_off_is_the_default_and_byte_identical_across_engines(self, policy):
+        reference = _run(policy, "reference")
+        fast = _run(policy, "fast")
+        assert reference.telemetry is None
+        assert fast.telemetry is None
+        assert asdict(reference) == asdict(fast)
+
+    def test_on_does_not_perturb_final_stats(self, policy):
+        telemetry = TelemetryConfig(interval_branches=400)
+        for engine in ("reference", "fast"):
+            off = _run(policy, engine)
+            on = _run(policy, engine, telemetry=telemetry)
+            assert on.telemetry is not None
+            assert len(on.telemetry.samples) >= 2
+            assert _stats_dict(on) == _stats_dict(off), engine
+
+    def test_sample_series_identical_across_engines(self, policy):
+        telemetry = TelemetryConfig(interval_branches=400)
+        reference = _run(policy, "reference", telemetry=telemetry)
+        fast = _run(policy, "fast", telemetry=telemetry)
+        assert reference.telemetry.samples == fast.telemetry.samples
+        assert reference.telemetry.dropped == fast.telemetry.dropped
+        assert reference.telemetry.heatmap == fast.telemetry.heatmap
+
+
+class TestTelemetryWithSentinel:
+    def test_verified_run_still_matches_off(self):
+        telemetry = TelemetryConfig(interval_branches=400)
+        off = _run("ghrp", "fast")
+        on = _run("ghrp", "fast", telemetry=telemetry, verify="sampled")
+        assert _stats_dict(on) == _stats_dict(off)
+        # A healthy verified run records verified windows, no divergences.
+        total = {
+            key: sum(sample["sentinel"][key] for sample in on.telemetry.samples)
+            for key in ("windows_verified", "divergences", "failovers")
+        }
+        assert total["divergences"] == 0
+        assert total["failovers"] == 0
+
+    def test_failover_rebinds_the_recorder(self, tmp_path):
+        from repro.sentinel.faults import KernelFault
+
+        workload = _workload()
+        config = FrontEndConfig(icache_policy="ghrp", btb_policy="ghrp")
+        options = RunOptions.from_config_warmup(
+            config, workload.instruction_count()
+        )
+        telemetry = TelemetryConfig(interval_branches=400)
+        clean = build_frontend(config, engine="fast").run(
+            workload.records(), replace(options, telemetry=telemetry)
+        )
+
+        # Probe for a flip whose corruption survives to a barrier (GHRP
+        # rewrites the flipped bit on every touch of the way, so not
+        # every index is observable); the workload is seeded, so this is
+        # deterministic.
+        degraded = None
+        for candidate in range(3_000, 1_000, -100):
+            frontend = build_frontend(config, engine="fast")
+            result = frontend.run(
+                workload.records(),
+                replace(
+                    options,
+                    telemetry=telemetry,
+                    verify="full",
+                    repro_bundle_dir=str(tmp_path),
+                    inject_kernel_fault=KernelFault(
+                        structure="icache",
+                        access_index=candidate,
+                        kind="flip-pred-bit",
+                    ),
+                ),
+            )
+            if result.degraded:
+                degraded = result
+                break
+        assert degraded is not None, "no probed fault reached a barrier"
+        # Statistics survive the failover exactly (only the degraded flag
+        # differs).
+        degraded_stats = _stats_dict(degraded)
+        clean_stats = _stats_dict(clean)
+        assert degraded_stats.pop("degraded") is True
+        assert clean_stats.pop("degraded") is False
+        assert degraded_stats == clean_stats
+        # The recorder followed the takeover engine mid-run: boundaries
+        # stay aligned with the clean series (samples inside the fault
+        # window legitimately observed the corrupted engine, so exact
+        # per-sample equality is not required), and the deltas still
+        # telescope to the exact final totals.
+        samples = degraded.telemetry.samples
+        assert [s["branches"] for s in samples] \
+            == [s["branches"] for s in clean.telemetry.samples]
+        assert sum(s["d_branches"] for s in samples) == degraded.branches
+        assert sum(s["icache"]["misses"] for s in samples) \
+            == degraded.icache_total.misses
+        assert sum(s["btb"]["misses"] for s in samples) \
+            == degraded.btb_total.misses
