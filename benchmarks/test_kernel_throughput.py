@@ -63,6 +63,50 @@ def _time_engine(engine, config, records, options):
     return result, accesses, best
 
 
+def _cache_microbench() -> dict:
+    """Cold-then-warm scheduler sweep; returns cache stats for the ledger.
+
+    Deliberately tiny (one workload, two policies): the point is the
+    warm-run ``hit_rate`` trajectory in BENCH_HISTORY.jsonl, not wall
+    time.  The warm run must serve every cell from the cache — a hit
+    rate below 1.0 means content digests went unstable between two runs
+    of the same process, which the assertion turns into a bench failure.
+    """
+    import tempfile
+
+    from repro.experiments.scheduler import SweepScheduler
+
+    workload = make_workload(
+        "bench-cache", Category.SHORT_SERVER, seed=2018, trace_scale=0.05
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        cold = SweepScheduler(cache_dir, FrontEndConfig(), engine="fast")
+        start = time.perf_counter()
+        cold.run(workload, ("lru", "ghrp"))
+        cold_seconds = time.perf_counter() - start
+
+        warm = SweepScheduler(cache_dir, FrontEndConfig(), engine="fast")
+        start = time.perf_counter()
+        warm.run(workload, ("lru", "ghrp"))
+        warm_seconds = time.perf_counter() - start
+
+    assert warm.stats.hit_rate == 1.0, warm.stats.as_dict()
+    assert warm.stats.computed == 0, warm.stats.as_dict()
+    stats = {
+        "hit_rate": warm.stats.hit_rate,
+        "cold_computed": cold.stats.computed,
+        "cold_snapshot_writes": cold.stats.snapshot_writes,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+    }
+    print(
+        f"[kernel-throughput] cache microbench: cold {cold_seconds:.3f}s "
+        f"({cold.stats.computed} computed), warm {warm_seconds:.3f}s "
+        f"(hit rate {100.0 * warm.stats.hit_rate:.0f}%)"
+    )
+    return stats
+
+
 def test_kernel_throughput():
     workload = make_workload(
         "bench-kernel", Category.SHORT_SERVER, seed=2018, trace_scale=_TRACE_SCALE
@@ -108,6 +152,8 @@ def test_kernel_throughput():
             f"fast {fast_seconds:.3f}s  speedup {speedup:.2f}x  "
             f"({accesses / fast_seconds:,.0f} accesses/s)"
         )
+
+    report["cache"] = _cache_microbench()
 
     with open(BENCH_PERF_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

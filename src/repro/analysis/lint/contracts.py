@@ -16,6 +16,14 @@ Two invariants keep that true:
   couple through a shared global; registration-time mutation of an
   explicit registry is the one sanctioned exception (suppressed where it
   happens, with the reason).
+- ``contract-atomic-write`` (per-file): experiment-layer code that
+  persists JSON must go through the durable helper
+  (:func:`repro.experiments.cellcache.atomic_write_json`) or replicate
+  its tmp + fsync + ``os.replace`` discipline; a bare
+  ``open(path, "w")`` + ``json.dump`` tears under ``kill -9`` and a
+  torn result store silently loses checkpointed cells.  The one
+  sanctioned bare-open site (the store's own atomic-save internals) is
+  suppressed where it happens, with the reason.
 - ``contract-fast-path`` (project rule): a policy that opts into the
   batched engine (``supports_fast_path``) must have a kernel registered
   for its *exact* class, and must still pass the reference-path ABC
@@ -45,7 +53,7 @@ from repro.analysis.lint.core import (
     terminal_name,
 )
 
-__all__ = ["PolicyAbcRule", "ModuleStateRule", "FastPathRule"]
+__all__ = ["PolicyAbcRule", "ModuleStateRule", "FastPathRule", "AtomicWriteRule"]
 
 
 @register_rule
@@ -208,6 +216,85 @@ class FastPathRule(ProjectRule):
                     ),
                     rule=self.id,
                 )
+
+
+@register_rule
+class AtomicWriteRule(Rule):
+    id = "contract-atomic-write"
+    description = (
+        "experiment-layer JSON persistence must use the durable helper "
+        "(atomic_write_json: tmp + fsync + os.replace), not bare "
+        "open(..., 'w') + json.dump, which tears under kill -9"
+    )
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+        if "experiments" not in source.dir_names or source.tree is None:
+            return ()
+        return self._check(source)
+
+    def _check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            handles = {
+                item.optional_vars.id
+                for item in node.items
+                if self._is_text_write_open(item.context_expr)
+                and isinstance(item.optional_vars, ast.Name)
+            }
+            if not handles:
+                continue
+            for call in ast.walk(node):
+                if self._is_json_dump(call, handles):
+                    yield self.finding(
+                        source,
+                        node,
+                        "bare open(..., 'w') + json.dump is not crash-safe "
+                        "(a kill -9 mid-write tears the file); use "
+                        "repro.experiments.cellcache.atomic_write_json or "
+                        "its tmp + fsync + os.replace discipline",
+                    )
+                    break
+
+    @staticmethod
+    def _is_text_write_open(call: ast.AST) -> bool:
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "open"
+        ):
+            return False
+        mode: ast.AST | None = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        return (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and "w" in mode.value
+            and "b" not in mode.value
+        )
+
+    @staticmethod
+    def _is_json_dump(call: ast.AST, handles: frozenset[str] | set[str]) -> bool:
+        """A ``json.dump(..., <handle>)`` writing into one of ``handles``."""
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "dump"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "json"
+        ):
+            return False
+        targets = [arg for arg in call.args[1:2]] + [
+            keyword.value for keyword in call.keywords if keyword.arg == "fp"
+        ]
+        return any(
+            isinstance(target, ast.Name) and target.id in handles
+            for target in targets
+        )
 
 
 @register_rule

@@ -62,7 +62,7 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True, kw_only=True)
 class SweepOptions:
-    """What a sweep covers.
+    """What a sweep covers and how its results are cached.
 
     Attributes
     ----------
@@ -70,9 +70,30 @@ class SweepOptions:
         Replacement policies to race; each cell simulates with fresh
         front-end state and the policy driving both the I-cache and the
         BTB (the paper's grid methodology).
+    cache:
+        Directory of a content-addressed result cache (created on first
+        use).  When set, the sweep runs through the crash-safe scheduler
+        (:mod:`repro.experiments.scheduler`): cells already cached are
+        never recomputed, results are journaled and written durably as
+        the sweep runs, and an interrupted sweep resumes from where it
+        stopped by simply re-running the same call.  ``None`` (default)
+        keeps the plain uncached sweep.
+    shard:
+        ``"K/N"`` (or a ``(K, N)`` tuple, K 0-based): this process
+        simulates only the cells whose content digest maps to shard K of
+        N.  Run one process per shard against the same ``cache``
+        directory, then re-run unsharded to assemble the full grid from
+        cache hits.  Requires ``cache``.
+    snapshots:
+        Memoize warmed engine state so sweeps sharing a warm-up prefix
+        replay only their measurement windows (default True; only
+        meaningful with ``cache``).
     """
 
     policies: tuple[str, ...]
+    cache: str | None = None
+    shard: tuple[int, int] | None = None
+    snapshots: bool = True
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -84,6 +105,22 @@ class SweepOptions:
         for name in self.policies:
             if not isinstance(name, str) or not name:
                 raise ValueError(f"policy names must be non-empty strings, got {name!r}")
+        if self.cache is not None and not isinstance(self.cache, str):
+            object.__setattr__(self, "cache", str(self.cache))
+        if self.shard is not None:
+            if isinstance(self.shard, str):
+                from repro.experiments.scheduler import parse_shard
+
+                object.__setattr__(self, "shard", parse_shard(self.shard))
+            else:
+                index, count = self.shard
+                object.__setattr__(self, "shard", (int(index), int(count)))
+                if count < 1 or not 0 <= index < count:
+                    raise ValueError(
+                        f"shard index must satisfy 0 <= K < N, got {index}/{count}"
+                    )
+            if self.cache is None:
+                raise ValueError("SweepOptions.shard requires cache=")
 
 
 class SimulationSession:
@@ -185,9 +222,30 @@ class SimulationSession:
         the I-cache and the BTB, warmed by the paper's rule — the same
         methodology as :func:`repro.experiments.runner.run_grid`, with the
         session's engine applied to every cell.
+
+        With ``options.cache`` set, the sweep runs through the
+        content-addressed scheduler: previously computed cells (from any
+        earlier run sharing the cache directory) are served without
+        simulation, new results are journaled and durably cached as they
+        complete, and warm-up state is memoized across cells.
         """
         if isinstance(workloads, Workload):
             workloads = (workloads,)
+        if options.cache is not None:
+            # Imported lazily: the scheduler pulls in multiprocessing
+            # machinery that plain sweeps never need.
+            from repro.experiments.scheduler import SchedulerConfig, SweepScheduler
+
+            runner = SweepScheduler(
+                options.cache,
+                self.config,
+                scheduler=SchedulerConfig(
+                    shard=options.shard, snapshots=options.snapshots
+                ),
+                obs=self.obs,
+                engine=self.engine,
+            )
+            return runner.run(workloads, options.policies, progress=progress)
         grid = GridResult()
         for workload in workloads:
             for policy in options.policies:

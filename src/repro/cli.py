@@ -416,6 +416,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         run_grid_supervised,
     )
 
+    if args.shard and not args.cache_dir:
+        raise SystemExit("repro-sim grid: --shard requires --cache-dir")
     suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
     if args.limit is not None:
         suite = suite[: args.limit]
@@ -440,22 +442,69 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     )
     obs = _obs_from(args)
     progress = GridProgressReporter(total_cells=len(suite) * len(args.policies))
-    grid = run_grid_supervised(
-        suite,
-        list(args.policies),
-        config,
-        supervisor=supervisor,
-        store=store,
-        fault_plan=fault_plan,
-        progress=progress,
-        obs=obs,
-        engine=args.engine,
-        verify=args.verify,
-        telemetry=_telemetry_config_from(args),
-    )
+    scheduler = None
+    if args.cache_dir:
+        from repro.experiments.scheduler import (
+            SchedulerConfig,
+            SweepScheduler,
+            parse_shard,
+        )
+
+        if store is not None:
+            print("note: --cache-dir supersedes --resume; the content-"
+                  "addressed cache is itself the resume mechanism")
+            store = None
+        scheduler = SweepScheduler(
+            args.cache_dir,
+            config,
+            scheduler=SchedulerConfig(
+                shard=parse_shard(args.shard) if args.shard else None,
+                snapshots=not args.no_snapshots,
+            ),
+            supervisor=supervisor,
+            fault_plan=fault_plan,
+            obs=obs,
+            engine=args.engine,
+            verify=args.verify,
+            telemetry=_telemetry_config_from(args),
+        )
+        grid = scheduler.run(suite, list(args.policies), progress=progress)
+    else:
+        grid = run_grid_supervised(
+            suite,
+            list(args.policies),
+            config,
+            supervisor=supervisor,
+            store=store,
+            fault_plan=fault_plan,
+            progress=progress,
+            obs=obs,
+            engine=args.engine,
+            verify=args.verify,
+            telemetry=_telemetry_config_from(args),
+        )
     print(figures.headline_numbers(
         grid, policies=tuple(grid.icache.policies)
     ).render())
+    if scheduler is not None:
+        stats = scheduler.stats
+        print(
+            f"cache {args.cache_dir}: {stats.cache_hits} hit(s), "
+            f"{stats.cache_misses} miss(es), {stats.computed} computed, "
+            f"{stats.deduped} deduped "
+            f"(hit rate {100.0 * stats.hit_rate:.0f}%)"
+        )
+        if stats.snapshot_hits or stats.snapshot_writes:
+            print(f"warm-up snapshots: {stats.snapshot_hits} reused, "
+                  f"{stats.snapshot_writes} written")
+        if stats.leases_recovered or stats.lease_conflicts:
+            print(f"leases: {stats.leases_recovered} orphan(s) recovered, "
+                  f"{stats.lease_conflicts} conflict(s) skipped")
+        if stats.other_shard:
+            index, count = scheduler.sched.shard
+            print(f"shard {index}/{count}: {stats.other_shard} cell(s) owned "
+                  f"by other shards; re-run unsharded to assemble the full "
+                  f"grid from cache")
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(markdown_report(
@@ -471,7 +520,10 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print(f"\nWARNING: partial grid — {len(grid.failed)} cell(s) failed:")
         for failure in grid.failed:
             print(f"  {failure.summary_line()}")
-        if args.resume:
+        if scheduler is not None:
+            print(f"re-run with --cache-dir {args.cache_dir} to retry only "
+                  f"these cells (completed cells are served from cache)")
+        elif args.resume:
             print(f"re-run with --resume {args.resume} to retry only these cells")
         return 2
     return 0
@@ -609,7 +661,7 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     )
     print(render_bench_diff(
         diffs, tolerance=args.tolerance, metric=args.metric,
-        annotate=args.annotate,
+        annotate=args.annotate, baseline=baseline, latest=latest,
     ))
     regressions = [diff for diff in diffs if diff.regressed]
     if regressions:
@@ -720,6 +772,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="checkpoint results to this store and skip cells "
                            "already in it; corrupted stores are quarantined "
                            "to STORE.corrupt")
+    grid.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="content-addressed result cache: cells already "
+                           "computed (by any run sharing DIR) are served "
+                           "without simulation, results are journaled and "
+                           "written durably as the grid runs, and a killed "
+                           "run resumes from where it stopped by re-running "
+                           "the same command")
+    grid.add_argument("--shard", metavar="K/N", default=None,
+                      help="own only the cells whose content digest maps to "
+                           "shard K of N (requires --cache-dir); run one "
+                           "process per shard, then re-run unsharded to "
+                           "assemble the full grid from cache")
+    grid.add_argument("--no-snapshots", action="store_true",
+                      help="disable warm-up memoization (with --cache-dir, "
+                           "cells sharing a warm-up prefix normally replay "
+                           "only their measurement windows)")
     grid.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
                       help="save the store after every N completed cells")
     grid.add_argument("--report", default=None,

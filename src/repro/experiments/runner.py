@@ -312,26 +312,45 @@ def run_cell(
         )
 
     with obs.span("collect"):
-        cell = CellResult(
-            policy=policy,
-            workload=workload.name,
-            icache_mpki=result.icache_mpki,
-            btb_mpki=result.btb_mpki,
-            icache_misses=result.icache_measured.misses,
-            btb_misses=result.btb_measured.misses,
-            instructions=result.instructions,
-            branches=result.branches,
-            direction_accuracy=result.direction_accuracy,
-            dead_evictions=frontend.icache.stats.dead_evictions,
-            bypasses=frontend.icache.stats.bypasses,
-            elapsed_seconds=setup_seconds + simulate_seconds,
-            setup_seconds=setup_seconds,
-            simulate_seconds=simulate_seconds,
-            degraded=result.degraded,
-            fast_path_fallback_reason=result.fast_path_fallback_reason,
+        cell = _collect_cell(
+            policy, workload, result, frontend, setup_seconds, simulate_seconds
         )
     obs.finish_span(cell_span)
     return cell
+
+
+def _collect_cell(
+    policy: str,
+    workload: Workload,
+    result,
+    frontend,
+    setup_seconds: float,
+    simulate_seconds: float,
+) -> CellResult:
+    """Fold a finished simulation into a CellResult.
+
+    Shared by :func:`run_cell` and the warm-up-memoizing executor
+    (:mod:`repro.experiments.snapshots`), so both paths produce cells
+    with identical field derivations.
+    """
+    return CellResult(
+        policy=policy,
+        workload=workload.name,
+        icache_mpki=result.icache_mpki,
+        btb_mpki=result.btb_mpki,
+        icache_misses=result.icache_measured.misses,
+        btb_misses=result.btb_measured.misses,
+        instructions=result.instructions,
+        branches=result.branches,
+        direction_accuracy=result.direction_accuracy,
+        dead_evictions=frontend.icache.stats.dead_evictions,
+        bypasses=frontend.icache.stats.bypasses,
+        elapsed_seconds=setup_seconds + simulate_seconds,
+        setup_seconds=setup_seconds,
+        simulate_seconds=simulate_seconds,
+        degraded=result.degraded,
+        fast_path_fallback_reason=result.fast_path_fallback_reason,
+    )
 
 
 def run_grid(

@@ -9,6 +9,11 @@ configuration), so a grid can be resumed or extended incrementally.
 The fingerprint covers everything that affects the simulation:
 the workload's spec + seed (the trace is a pure function of those) and
 the FrontEndConfig dataclass fields.  Any change invalidates the key.
+Since the content-addressed scheduler landed, the key *is* the
+canonical sha256 cell digest of :func:`repro.experiments.content.
+cell_digest`, so a ResultStore record and a
+:class:`~repro.experiments.cellcache.CellCache` entry for the same cell
+share one identity.
 
 Durability (see docs/robustness.md):
 
@@ -38,13 +43,18 @@ import shutil
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.experiments.content import cell_digest, config_payload, workload_payload
 from repro.experiments.runner import CellResult, GridResult, run_cell, validate_cell
 from repro.frontend.config import FrontEndConfig
 from repro.obs import NULL_OBS, Observability, get_logger
-from repro.util.hashing import mix64
 from repro.workloads.suite import Workload
 
-__all__ = ["ResultStore", "ResultStoreError", "run_grid_cached"]
+__all__ = [
+    "ResultStore",
+    "ResultStoreError",
+    "rehydrate_cell",
+    "run_grid_cached",
+]
 
 _LOG = get_logger("experiments.store")
 
@@ -66,31 +76,12 @@ class ResultStoreError(RuntimeError):
     """
 
 
-def _stable_fingerprint(payload: str) -> str:
-    """A short stable hash of a canonical string (not security-grade)."""
-    state = 0
-    for chunk_start in range(0, len(payload), 64):
-        chunk = payload[chunk_start:chunk_start + 64]
-        for char in chunk:
-            state = mix64(state ^ ord(char))
-    return f"{state:016x}"
-
-
 def _config_key(config: FrontEndConfig) -> str:
-    fields = {}
-    for field in dataclasses.fields(config):
-        value = getattr(config, field.name)
-        if dataclasses.is_dataclass(value):
-            value = dataclasses.asdict(value)
-        fields[field.name] = value
-    return json.dumps(fields, sort_keys=True, default=str)
+    return json.dumps(config_payload(config), sort_keys=True, default=str)
 
 
 def _workload_key(workload: Workload) -> str:
-    spec = dataclasses.asdict(workload.spec)
-    spec["category"] = workload.spec.category.value
-    return json.dumps({"seed": workload.seed, "name": workload.name, "spec": spec},
-                      sort_keys=True, default=str)
+    return json.dumps(workload_payload(workload), sort_keys=True, default=str)
 
 
 def _records_checksum(records: dict) -> str:
@@ -98,13 +89,15 @@ def _records_checksum(records: dict) -> str:
     return hashlib.sha256(canonical).hexdigest()
 
 
-def _rehydrate(raw: object) -> CellResult | None:
+def rehydrate_cell(raw: object) -> CellResult | None:
     """Build a CellResult from one stored record, tolerating schema drift.
 
     Unknown keys (written by a newer version) are dropped; missing keys
     with dataclass defaults (written by an older version) are defaulted.
     A record missing a *required* field, or otherwise malformed, returns
-    None — the caller treats it as a cache miss and recomputes.
+    None — the caller treats it as a cache miss and recomputes.  Shared
+    by this store and the content-addressed
+    :class:`~repro.experiments.cellcache.CellCache`.
     """
     if not isinstance(raw, dict):
         return None
@@ -116,6 +109,10 @@ def _rehydrate(raw: object) -> CellResult | None:
     except (TypeError, ValueError):
         return None
     return cell if validate_cell(cell) is None else None
+
+
+#: Backwards-compatible private alias (pre-scheduler name).
+_rehydrate = rehydrate_cell
 
 
 class ResultStore:
@@ -204,8 +201,14 @@ class ResultStore:
 
     # -- keys -----------------------------------------------------------
     def key_for(self, workload: Workload, policy: str, config: FrontEndConfig) -> str:
-        payload = _workload_key(workload) + "|" + policy + "|" + _config_key(config)
-        return _stable_fingerprint(payload)
+        """The canonical content digest of the cell (full sha256 hex).
+
+        Shared with the content-addressed scheduler cache, so a store
+        record and a cache entry for the same cell agree on identity.
+        Stores written before the digest switch simply miss and are
+        recomputed — a cache key change is a cache flush, not corruption.
+        """
+        return cell_digest(workload, policy, config)
 
     # -- record access --------------------------------------------------
     def get(
@@ -232,11 +235,15 @@ class ResultStore:
         self._records[self.key_for(workload, policy, config)] = dataclasses.asdict(cell)
 
     def save(self) -> None:
-        """Atomically persist: write ``<path>.tmp``, then ``os.replace``.
+        """Atomically and durably persist the store.
 
-        A crash mid-save leaves the previous store intact (plus a stale
-        ``.tmp`` file the next save overwrites); a reader never observes
-        a half-written file.
+        Write ``<path>.tmp``, fsync it, ``os.replace`` it into place,
+        then fsync the containing directory — without the syncs the
+        rename is atomic against *crashes of this process* but the
+        whole save can still vanish on power loss (data and directory
+        entry both living only in the page cache).  Directory fsync is
+        best-effort: platforms that cannot open directories keep the
+        rename-atomicity guarantee only.
         """
         os.makedirs(self.path.parent, exist_ok=True)
         tmp_path = self.path.with_suffix(".tmp")
@@ -245,9 +252,23 @@ class ResultStore:
             "checksum": _records_checksum(self._records),
             "records": self._records,
         }
+        # repro: allow(contract-atomic-write) -- this *is* the atomic
+        # write path: tmp + fsync + os.replace + directory fsync.
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def __len__(self) -> int:
         return len(self._records)

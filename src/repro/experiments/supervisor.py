@@ -45,6 +45,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
 
+from repro.experiments.content import cell_digest
 from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import (
     CellResult,
@@ -130,12 +131,16 @@ def _worker_main(conn: Connection) -> None:
 
     Runs in a child process.  Each task is
     ``(task_id, workload, policy, config, attempt, fault_plan, obs_on,
-    engine, verify, telemetry)``; the reply is
-    ``("ok", task_id, cell, obs_summary)``
+    engine, verify, telemetry, snapshot_dir)``; the reply is
+    ``("ok", task_id, cell, obs_summary, snapshot_note)``
     or ``("error", task_id, error_type, message, traceback, obs_summary,
     bundle_path)`` — ``bundle_path`` being the sentinel's repro bundle for
-    the failed attempt, when one was captured.  A ``None`` task (or a
-    closed pipe) shuts the worker down.
+    the failed attempt, when one was captured.  ``snapshot_dir`` (set by
+    the content-addressed scheduler) enables warm-up memoization through
+    a :class:`~repro.experiments.cellcache.SnapshotStore`;
+    ``snapshot_note`` reports what the memoization did so the scheduler
+    can count hits/writes even with worker observability disabled.  A
+    ``None`` task (or a closed pipe) shuts the worker down.
     """
     while True:
         try:
@@ -145,19 +150,29 @@ def _worker_main(conn: Connection) -> None:
         if task is None:
             return
         (task_id, workload, policy, config, attempt, fault_plan, obs_on,
-         engine, verify, telemetry) = task
+         engine, verify, telemetry, snapshot_dir) = task
         obs = Observability() if obs_on else NULL_OBS
         try:
             if fault_plan is not None:
                 fault_plan.before_cell(policy, workload.name, attempt)
-            cell = run_cell(
-                workload, policy, config, obs=obs, engine=engine,
-                verify=verify, telemetry=telemetry,
-            )
+            note = None
+            if snapshot_dir is not None:
+                from repro.experiments.cellcache import SnapshotStore
+                from repro.experiments.snapshots import run_cell_snapshotted
+
+                cell, note = run_cell_snapshotted(
+                    workload, policy, config, SnapshotStore(snapshot_dir),
+                    obs=obs, engine=engine, verify=verify, telemetry=telemetry,
+                )
+            else:
+                cell = run_cell(
+                    workload, policy, config, obs=obs, engine=engine,
+                    verify=verify, telemetry=telemetry,
+                )
             if fault_plan is not None:
                 cell = fault_plan.mangle_result(policy, workload.name, attempt, cell)
             summary = obs.summary() if obs_on else None
-            conn.send(("ok", task_id, cell, summary))
+            conn.send(("ok", task_id, cell, summary, note))
         except Exception as error:
             summary = obs.summary() if obs_on else None
             conn.send((
@@ -186,6 +201,7 @@ class _Task:
     ready_at: float = 0.0          # earliest dispatch time (backoff)
     started_at: float = 0.0        # when the current attempt was dispatched
     elapsed: float = 0.0           # total time across finished attempts
+    digest: str | None = None      # content address (scheduler-managed runs)
 
     @property
     def key(self) -> str:
@@ -215,13 +231,15 @@ class _Worker:
     def assign(self, task: _Task, config: FrontEndConfig,
                fault_plan: FaultPlan | None, obs_on: bool,
                now: float, timeout: float | None,
-               engine: str, verify: str, telemetry=None) -> None:
+               engine: str, verify: str, telemetry=None,
+               snapshot_dir: str | None = None) -> None:
         task.started_at = now
         self.task = task
         self.deadline = None if timeout is None else now + timeout
         self.conn.send((
             task.slot, task.workload, task.policy, config,
             task.attempt, fault_plan, obs_on, engine, verify, telemetry,
+            snapshot_dir,
         ))
 
     def kill(self) -> None:
@@ -263,6 +281,10 @@ class _Supervisor:
         engine: str = "reference",
         verify: str = "off",
         telemetry=None,
+        sink: Callable[[_Task, CellResult, str | None], None] | None = None,
+        tick: Callable[[float], None] | None = None,
+        on_attempt_failed: Callable[[_Task, str, str, bool], None] | None = None,
+        snapshot_dir: str | None = None,
     ) -> None:
         self.config = config
         self.sup = supervisor
@@ -275,6 +297,17 @@ class _Supervisor:
         self.telemetry = telemetry
         self.clock = clock
         self.sleep = sleep
+        # Scheduler integration hooks (all optional): ``sink`` receives
+        # every validated success (with the worker's snapshot note),
+        # ``tick`` fires once per event-loop iteration (lease
+        # heartbeats), ``on_attempt_failed`` observes each failed
+        # attempt before it is re-queued or degraded (the fourth
+        # argument is whether a retry follows).  ``snapshot_dir``
+        # propagates warm-up memoization into the workers.
+        self.sink = sink
+        self.tick = tick
+        self.on_attempt_failed = on_attempt_failed
+        self.snapshot_dir = snapshot_dir
         self.context = multiprocessing.get_context(supervisor.start_method)
         self.pending: deque[_Task] = deque()
         self.workers: list[_Worker] = []
@@ -315,6 +348,7 @@ class _Supervisor:
                     task, self.config, self.fault_plan,
                     self.obs.enabled, now, self.sup.cell_timeout_seconds,
                     self.engine, self.verify, self.telemetry,
+                    self.snapshot_dir,
                 )
             except (BrokenPipeError, OSError):
                 # The idle worker died before we could use it; replace it
@@ -324,9 +358,13 @@ class _Supervisor:
                 self._replenish()
                 idle = [w for w in self.workers if not w.busy]
 
-    def _record_success(self, task: _Task, cell: CellResult) -> None:
+    def _record_success(
+        self, task: _Task, cell: CellResult, note: str | None = None
+    ) -> None:
         self.results[task.slot] = cell
         self.obs.inc("supervisor.cells_ok")
+        if self.sink is not None:
+            self.sink(task, cell, note)
         if self.store is not None:
             self.store.put(task.workload, task.policy, self.config, cell)
             self.unsaved += 1
@@ -343,7 +381,10 @@ class _Supervisor:
         """Re-queue with backoff, or degrade to a FailedCell."""
         task.elapsed += now - task.started_at
         self.obs.inc(f"supervisor.attempts_{kind}")
-        if task.attempt < self.sup.retry.max_retries:
+        will_retry = task.attempt < self.sup.retry.max_retries
+        if self.on_attempt_failed is not None:
+            self.on_attempt_failed(task, kind, error_type, will_retry)
+        if will_retry:
             delay = self.sup.retry.backoff_seconds(
                 task.policy, task.workload.name, task.attempt
             )
@@ -392,7 +433,7 @@ class _Supervisor:
         worker.task = None
         worker.deadline = None
         if message[0] == "ok":
-            _, _, cell, summary = message
+            _, _, cell, summary, note = message
             if summary:
                 self.obs.merge_child(summary, label=f"worker:{task.key}")
             problem = validate_cell(cell, task.policy, task.workload.name)
@@ -403,7 +444,7 @@ class _Supervisor:
                 )
                 return
             task.elapsed += now - task.started_at
-            self._record_success(task, cell)
+            self._record_success(task, cell, note)
         else:
             _, _, error_type, error_message, trace, summary, bundle_path = message
             if summary:
@@ -459,6 +500,8 @@ class _Supervisor:
             while self.pending or any(w.busy for w in self.workers):
                 self._replenish()
                 now = self.clock()
+                if self.tick is not None:
+                    self.tick(now)
                 self._dispatch_ready(now)
                 busy = [w for w in self.workers if w.busy]
                 if busy:
@@ -530,7 +573,18 @@ def run_grid_supervised(
     ]
     tasks: list[_Task] = []
     cached: dict[int, CellResult] = {}
+    seen_digests: dict[str, int] = {}
+    deduped = 0
     for slot, (workload, policy) in enumerate(slots):
+        # Dedupe by content digest before dispatch: two slots with equal
+        # digests are the same simulation (a suite that built two
+        # workloads with one name used to run both and let GridResult
+        # drop the second — pure waste).
+        digest = cell_digest(workload, policy, config)
+        if digest in seen_digests:
+            deduped += 1
+            continue
+        seen_digests[digest] = slot
         hit = store.get(workload, policy, config) if store is not None else None
         if hit is not None:
             cached[slot] = hit
@@ -538,7 +592,15 @@ def run_grid_supervised(
             if progress is not None:
                 progress(hit)
         else:
-            tasks.append(_Task(slot=slot, workload=workload, policy=policy))
+            tasks.append(
+                _Task(slot=slot, workload=workload, policy=policy, digest=digest)
+            )
+    if deduped:
+        obs.inc("scheduler.deduped_cells", deduped)
+        _LOG.warning(
+            "deduplicated %d grid cell(s) with identical content digests "
+            "before dispatch", deduped,
+        )
 
     with obs.span("supervised_grid"):
         executor.run(tasks)

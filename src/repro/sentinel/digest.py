@@ -22,7 +22,12 @@ from __future__ import annotations
 import hashlib
 import json
 
-__all__ = ["frontend_digest", "digest_fingerprint", "diff_digest"]
+__all__ = [
+    "frontend_digest",
+    "canonical_fingerprint",
+    "digest_fingerprint",
+    "diff_digest",
+]
 
 
 def _stats_digest(stats) -> dict:
@@ -123,10 +128,26 @@ def frontend_digest(frontend) -> dict:
     return digest
 
 
+def canonical_fingerprint(payload, *, length: int | None = None) -> str:
+    """sha256 of the canonical JSON form of ``payload``.
+
+    The canonical form sorts keys and falls back to ``repr`` for
+    non-JSON values, so any two structurally equal payloads hash
+    identically regardless of construction order.  This is the single
+    hashing convention shared by the runtime verifier's state digests
+    and the content-addressed result cache
+    (:mod:`repro.experiments.content`).  ``length`` truncates the hex
+    digest (the verifier uses 16 chars for log lines; cache keys keep
+    all 64).
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    return digest if length is None else digest[:length]
+
+
 def digest_fingerprint(digest: dict) -> str:
     """A short stable hash of a digest for manifests and log lines."""
-    canonical = json.dumps(digest, sort_keys=True, default=repr)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return canonical_fingerprint(digest, length=16)
 
 
 def diff_digest(expected: dict, actual: dict, limit: int = 24) -> list[str]:

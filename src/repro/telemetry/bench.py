@@ -63,6 +63,10 @@ def append_bench_history(path, report: dict, *, source: str = "bench") -> dict:
         "workload": report.get("workload"),
         "policies": report.get("policies", {}),
     }
+    if "cache" in report:
+        # Scheduler-cache statistics (hit_rate and friends) ride along so
+        # bench-diff can track cache effectiveness next to throughput.
+        entry["cache"] = report["cache"]
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("a", encoding="utf-8") as handle:
@@ -138,14 +142,31 @@ def diff_bench_entries(
     return diffs
 
 
+def _cache_hit_rate(entry: dict | None) -> float | None:
+    if not entry:
+        return None
+    cache = entry.get("cache")
+    if not isinstance(cache, dict):
+        return None
+    rate = cache.get("hit_rate")
+    return float(rate) if isinstance(rate, (int, float)) else None
+
+
 def render_bench_diff(
     diffs: list[PolicyDiff],
     *,
     tolerance: float = DEFAULT_TOLERANCE,
     metric: str = DEFAULT_METRIC,
     annotate: str | None = None,
+    baseline: dict | None = None,
+    latest: dict | None = None,
 ) -> str:
-    """Render diffs as a table; ``annotate="github"`` adds ::warning lines."""
+    """Render diffs as a table; ``annotate="github"`` adds ::warning lines.
+
+    When the ``baseline``/``latest`` ledger entries are passed and either
+    carries scheduler-cache statistics, a ``cache_hit_rate`` line is
+    appended (informational — cache effectiveness never gates).
+    """
     lines = [f"bench-diff: {metric}, tolerance {100.0 * tolerance:.0f}%"]
     for diff in diffs:
         if diff.change is None:
@@ -163,4 +184,14 @@ def render_bench_diff(
                 f"regressed {diff.change_percent:+.1f}% "
                 f"(baseline {diff.baseline}, latest {diff.latest})"
             )
+    base_rate = _cache_hit_rate(baseline)
+    latest_rate = _cache_hit_rate(latest)
+    if base_rate is not None or latest_rate is not None:
+        def fmt(rate: float | None) -> str:
+            return "-" if rate is None else f"{100.0 * rate:.1f}%"
+
+        lines.append(
+            f"  {'cache_hit_rate':<8} baseline={fmt(base_rate):>10} "
+            f"latest={fmt(latest_rate):>10}  informational"
+        )
     return "\n".join(lines)

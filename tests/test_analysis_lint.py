@@ -563,6 +563,86 @@ class TestModuleState:
         assert result.findings == []
 
 
+class TestAtomicWrite:
+    def test_bare_open_dump_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef save(path, data):\n"
+            "    with open(path, \"w\", encoding=\"utf-8\") as handle:\n"
+            "        json.dump(data, handle)\n",
+        )
+        assert rule_ids(result) == ["contract-atomic-write"]
+        assert result.findings[0].line == 4
+
+    def test_mode_keyword_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef save(path, data):\n"
+            "    with open(path, mode=\"w\") as handle:\n"
+            "        json.dump(data, fp=handle)\n",
+        )
+        assert rule_ids(result) == ["contract-atomic-write"]
+
+    def test_read_open_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef load(path):\n"
+            "    with open(path, \"r\", encoding=\"utf-8\") as handle:\n"
+            "        return json.load(handle)\n",
+        )
+        assert result.findings == []
+
+    def test_binary_write_clean(self, tmp_path):
+        # The atomic helpers write bytes through os.fdopen/"wb" handles;
+        # the rule targets exactly the text-mode open + json.dump shape.
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef save(path, data):\n"
+            "    with open(path, \"wb\") as handle:\n"
+            "        handle.write(json.dumps(data).encode())\n",
+        )
+        assert result.findings == []
+
+    def test_dump_to_other_handle_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef tee(path, data, log):\n"
+            "    with open(path, \"w\") as handle:\n"
+            "        handle.write(\"x\")\n"
+            "        json.dump(data, log)\n",
+        )
+        assert result.findings == []
+
+    def test_non_experiments_module_ignored(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "viz/mod.py",
+            "import json\n\ndef save(path, data):\n"
+            "    with open(path, \"w\") as handle:\n"
+            "        json.dump(data, handle)\n",
+        )
+        assert result.findings == []
+
+    def test_suppression(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "experiments/mod.py",
+            "import json\n\ndef save(path, data):\n"
+            "    # repro: allow(contract-atomic-write) -- test fixture\n"
+            "    with open(path, \"w\") as handle:\n"
+            "        json.dump(data, handle)\n",
+        )
+        assert result.findings == []
+        assert [finding.rule for finding in result.suppressed] == [
+            "contract-atomic-write"
+        ]
+
+
 class TestProjectRules:
     def test_policy_abc_clean_on_shipped_registry(self):
         result = LintEngine([REPRO_PACKAGE], rules=["contract-policy-abc"]).run()

@@ -166,6 +166,36 @@ class TestAtomicSave:
         document = json.loads(path.read_text(encoding="utf-8"))
         assert document["checksum"] == _records_checksum(document["records"])
 
+    def test_save_fsyncs_data_and_directory(
+        self, tmp_path, workload, config, monkeypatch
+    ):
+        """save() must push both the data and the rename to stable
+        storage: fsync the tmp file before the replace (so the bytes
+        exist), then the containing directory (so the entry does)."""
+        import os
+
+        synced_files = []
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced_dirs.append(fd)
+            else:
+                synced_files.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr("repro.experiments.store.os.fsync", recording_fsync)
+        store = ResultStore(tmp_path / "results.json")
+        store.put(workload, "lru", config, sample_cell())
+        store.save()
+        assert synced_files, "save() never fsynced the data file"
+        # Directory fsync is best-effort, but on this platform (the one
+        # CI runs on) it must happen.
+        assert synced_dirs, "save() never fsynced the containing directory"
+
     def test_put_refuses_malformed_cells(self, tmp_path, workload, config):
         store = ResultStore(tmp_path / "results.json")
         with pytest.raises(ResultStoreError, match="refusing to record"):
