@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-fault lint check bench bench-quick bench-smoke bench-diff examples figures clean
+.PHONY: install test test-fast test-fault lint check check-flow bench bench-quick bench-smoke bench-diff examples figures clean
 
 # The fault-injection / robustness suite: supervised grid executor,
 # deterministic fault harness, store durability, corrupted-input guards,
@@ -27,10 +27,17 @@ lint:
 		echo "ruff not installed; compileall only"; \
 	fi
 
-# Simulator-invariant static analysis: determinism, bit-width/storage
-# budget, and policy-contract rules.  See docs/static-analysis.md.
+# Simulator-invariant static analysis, both tiers: the syntactic rules
+# (determinism, bit-width/storage budget, policy contracts) and the
+# dataflow proofs (width escapes, Table I, digest coverage, crash-safety
+# protocol ordering).  See docs/static-analysis.md.
 check:
 	PYTHONPATH=src $(PYTHON) -m repro.cli check src/repro
+
+# Flow tier only: CFG + abstract-interpretation rules (flow-*).  Slower
+# than the syntactic tier; split out so editors can run it on demand.
+check-flow:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check src/repro --engine flow
 
 test-fast:
 	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py

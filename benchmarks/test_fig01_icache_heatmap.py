@@ -25,7 +25,7 @@ def test_fig01_icache_heatmap(benchmark, heatmap_workload, paper_config):
     for policy, matrix in result.matrices.items():
         heatmap_to_pgm(os.path.join(results_dir, f"fig01_{policy}.pgm"), matrix)
 
-    for policy, matrix in result.matrices.items():
+    for _policy, matrix in result.matrices.items():
         assert matrix.shape == (32, 8)  # 16KB / 64B / 8 ways = 32 sets
         assert float(matrix.min()) >= 0.0
         assert float(matrix.max()) <= 1.0

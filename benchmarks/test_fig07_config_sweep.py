@@ -28,11 +28,11 @@ def test_fig07_config_sweep(benchmark, sweep_workloads, paper_config):
             series = [
                 sweep.means[(kb * 1024, assoc)][policy] for kb in (8, 16, 32, 64)
             ]
-            for smaller, larger in zip(series, series[1:]):
+            for smaller, larger in zip(series, series[1:], strict=False):
                 assert larger <= smaller * 1.05
 
     # Random never the best policy in any configuration.
-    for config, per_policy in sweep.means.items():
+    for _config, per_policy in sweep.means.items():
         assert min(per_policy, key=per_policy.get) != "random"
 
     # GHRP at or below LRU in most configurations.

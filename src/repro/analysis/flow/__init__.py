@@ -1,0 +1,29 @@
+"""Dataflow analysis framework behind the ``flow-*`` lint rules.
+
+Layered under :mod:`repro.analysis.lint`, this package turns the
+syntactic checks of PR 3 into *proofs* over program paths:
+
+- :mod:`repro.analysis.flow.cfg` — control-flow graphs over Python
+  function ASTs: basic blocks, guarded edges, reverse postorder,
+  dominators/postdominators, and a generic worklist solver (reaching
+  definitions ships as the reference client).
+- :mod:`repro.analysis.flow.domains` — small lattice/environment
+  plumbing shared by the abstract interpreters.
+- :mod:`repro.analysis.flow.intervals` — an interval (value-range)
+  abstract interpreter for integer locals and ``self.``-rooted fields,
+  with branch refinement, saturation/clamp transfer functions, and
+  widening.  The ``flow-width-escape`` rule uses it to prove Table I
+  bit-width budgets.
+- :mod:`repro.analysis.flow.effects` — effect harvesting and typestate
+  machines for crash-safety protocol ordering (fsync-before-replace,
+  journal-before-cache-put, lease release post-dominating acquire).
+
+The rule modules in :mod:`repro.analysis.lint` (``flow_bitwidth``,
+``flow_state``, ``flow_protocol``) adapt these analyses to the
+``@register_rule`` framework; see ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.flow.cfg import CFG, Block, build_cfg
+from repro.analysis.flow.intervals import Interval
+
+__all__ = ["CFG", "Block", "Interval", "build_cfg"]

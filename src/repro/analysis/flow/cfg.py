@@ -1,0 +1,513 @@
+"""Control-flow graphs over Python function ASTs.
+
+A :class:`CFG` is a set of :class:`Block`\\ s of straight-line statements
+connected by optionally *guarded* edges (an edge may carry the branch
+condition and its truth value, which the interval analysis uses for
+range refinement).  Construction handles ``if``/``while``/``for``/
+``try``/``with``/``match``, ``break``/``continue``/``return``/``raise``.
+
+Exception edges are modeled conservatively but explicitly: inside a
+``try`` body every block gets an edge to each handler (any statement may
+raise), and ``finally`` suites are linked on both the fall-through and
+the exceptional exit.  Implicit exceptions *outside* a ``try`` are not
+modeled — for the protocol-ordering rules this matches the crash model
+(a crash is a kill, not an unwind), and for interval analysis it only
+adds precision.
+
+On top of the graph: reverse postorder, iterative dominators and
+postdominators, a generic worklist :func:`solve_forward`, and reaching
+definitions as the reference client (also used by the unit tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Edge",
+    "build_cfg",
+    "dominators",
+    "postdominators",
+    "reaching_definitions",
+    "solve_forward",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A CFG edge, optionally guarded by a branch condition.
+
+    ``guard`` is the test expression of the branch the edge leaves and
+    ``guard_value`` the truth value the edge assumes; both are ``None``
+    for unconditional edges.
+    """
+
+    dst: "Block"
+    guard: ast.expr | None = None
+    guard_value: bool | None = None
+
+
+@dataclass(eq=False)
+class Block:
+    """A basic block: straight-line statements, then outgoing edges."""
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    preds: list["Block"] = field(default_factory=list)
+
+    @property
+    def succs(self) -> list["Block"]:
+        return [edge.dst for edge in self.edges]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(stmt).__name__ for stmt in self.stmts)
+        return f"Block({self.id}: {kinds or 'empty'} -> {[b.id for b in self.succs]})"
+
+
+class CFG:
+    """The graph for one function: ``entry`` falls into the body,
+    ``exit`` collects every return/fall-off-the-end path."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef | None = None):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(
+        self,
+        src: Block,
+        dst: Block,
+        guard: ast.expr | None = None,
+        guard_value: bool | None = None,
+    ) -> None:
+        src.edges.append(Edge(dst=dst, guard=guard, guard_value=guard_value))
+        dst.preds.append(src)
+
+    # ------------------------------------------------------------------
+    def reverse_postorder(self) -> list[Block]:
+        """Blocks reachable from entry, in reverse postorder."""
+        seen: set[int] = set()
+        order: list[Block] = []
+        stack: list[tuple[Block, int]] = [(self.entry, 0)]
+        seen.add(self.entry.id)
+        while stack:
+            block, child = stack[-1]
+            if child < len(block.edges):
+                stack[-1] = (block, child + 1)
+                succ = block.edges[child].dst
+                if succ.id not in seen:
+                    seen.add(succ.id)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        order.reverse()
+        return order
+
+
+def _is_terminator(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue))
+
+
+class _Builder:
+    """Recursive-descent CFG construction.
+
+    ``current`` is the open block new statements append to; ``None``
+    means the current path already terminated (dead code after a
+    return starts a fresh unreachable block so line info survives).
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = CFG(func)
+        self.current: Block | None = None
+        # (continue_target, break_target) per enclosing loop.
+        self.loops: list[tuple[Block, Block]] = []
+        # Handler entry blocks of enclosing try statements: any block
+        # opened inside the try body links to each of these.
+        self.handlers: list[list[Block]] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        body = self.cfg.new_block()
+        self.cfg.add_edge(self.cfg.entry, body)
+        self.current = body
+        self.visit_body(self.cfg.func.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, self.cfg.exit)
+        return self.cfg
+
+    def _open(self) -> Block:
+        block = self.cfg.new_block()
+        for handler_group in self.handlers:
+            for handler in handler_group:
+                self.cfg.add_edge(block, handler)
+        return block
+
+    def _append(self, stmt: ast.stmt) -> None:
+        if self.current is None:
+            self.current = self._open()  # unreachable, kept for line info
+        self.current.stmts.append(stmt)
+
+    # ------------------------------------------------------------------
+    def visit_body(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+            return
+        self._append(stmt)
+        if _is_terminator(stmt):  # pragma: no cover - handled by visitors
+            self.current = None
+
+    # -- straight-line terminators -------------------------------------
+    def visit_Return(self, stmt: ast.Return) -> None:
+        self._append(stmt)
+        self.cfg.add_edge(self.current, self.cfg.exit)
+        self.current = None
+
+    def visit_Raise(self, stmt: ast.Raise) -> None:
+        self._append(stmt)
+        # Inside a try, _open() already wired this block to the
+        # handlers; the exceptional exit otherwise leaves the function.
+        self.cfg.add_edge(self.current, self.cfg.exit)
+        self.current = None
+
+    def visit_Break(self, stmt: ast.Break) -> None:
+        self._append(stmt)
+        if self.loops:
+            self.cfg.add_edge(self.current, self.loops[-1][1])
+        self.current = None
+
+    def visit_Continue(self, stmt: ast.Continue) -> None:
+        self._append(stmt)
+        if self.loops:
+            self.cfg.add_edge(self.current, self.loops[-1][0])
+        self.current = None
+
+    # -- branching ------------------------------------------------------
+    def visit_If(self, stmt: ast.If) -> None:
+        cond_block = self.current if self.current is not None else self._open()
+        self.current = cond_block
+        after = None
+
+        then_entry = self._open()
+        self.cfg.add_edge(cond_block, then_entry, stmt.test, True)
+        self.current = then_entry
+        self.visit_body(stmt.body)
+        then_exit = self.current
+
+        else_entry = self._open()
+        self.cfg.add_edge(cond_block, else_entry, stmt.test, False)
+        self.current = else_entry
+        self.visit_body(stmt.orelse)
+        else_exit = self.current
+
+        if then_exit is None and else_exit is None:
+            self.current = None
+            return
+        after = self._open()
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit, after)
+        if else_exit is not None:
+            self.cfg.add_edge(else_exit, after)
+        self.current = after
+
+    def visit_While(self, stmt: ast.While) -> None:
+        header = self._open()
+        if self.current is not None:
+            self.cfg.add_edge(self.current, header)
+        header.stmts.append(stmt)  # the test anchors findings to the loop line
+        after = self._open()
+        body_entry = self._open()
+        self.cfg.add_edge(header, body_entry, stmt.test, True)
+        self.cfg.add_edge(header, after, stmt.test, False)
+
+        self.loops.append((header, after))
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, header)
+        self.loops.pop()
+
+        if stmt.orelse:
+            # else runs when the loop exits normally; merge into after.
+            self.current = after
+            self.visit_body(stmt.orelse)
+            if self.current is not None and self.current is not after:
+                merged = self._open()
+                self.cfg.add_edge(self.current, merged)
+                self.current = merged
+                return
+        self.current = after
+
+    def visit_For(self, stmt: ast.For) -> None:
+        header = self._open()
+        if self.current is not None:
+            self.cfg.add_edge(self.current, header)
+        header.stmts.append(stmt)  # iteration setup / target binding
+        after = self._open()
+        body_entry = self._open()
+        self.cfg.add_edge(header, body_entry)
+        self.cfg.add_edge(header, after)
+
+        self.loops.append((header, after))
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, header)
+        self.loops.pop()
+
+        self.current = after
+        if stmt.orelse:
+            self.visit_body(stmt.orelse)
+
+    visit_AsyncFor = visit_For
+
+    # -- structured statements -----------------------------------------
+    def visit_With(self, stmt: ast.With) -> None:
+        # Context managers run the body linearly; the items' expressions
+        # are recorded as an anchor statement for effect harvesting.
+        self._append(stmt)
+        self.visit_body(stmt.body)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Try(self, stmt: ast.Try) -> None:
+        if self.current is None:
+            self.current = self._open()
+        handler_entries = [self.cfg.new_block() for _ in stmt.handlers]
+        after = self.cfg.new_block()
+
+        # Body: every block opened inside may raise into any handler.
+        self.handlers.append(handler_entries)
+        body_entry = self._open()
+        self.cfg.add_edge(self.current, body_entry)
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        body_exit = self.current
+        self.handlers.pop()
+
+        exits: list[Block] = []
+        if body_exit is not None:
+            self.current = body_exit
+            self.visit_body(stmt.orelse)
+            if self.current is not None:
+                exits.append(self.current)
+        for handler, entry in zip(stmt.handlers, handler_entries, strict=True):
+            # Wire the handler entry to enclosing handlers too (a
+            # handler body may itself raise).
+            for group in self.handlers:
+                for outer in group:
+                    self.cfg.add_edge(entry, outer)
+            self.current = entry
+            self.visit_body(handler.body)
+            if self.current is not None:
+                exits.append(self.current)
+
+        if stmt.finalbody:
+            final_entry = self._open()
+            for block in exits:
+                self.cfg.add_edge(block, final_entry)
+            if not exits:
+                # Reachable only exceptionally; keep it connected so
+                # effects in the finally suite stay visible.
+                self.cfg.add_edge(body_entry, final_entry)
+            self.current = final_entry
+            self.visit_body(stmt.finalbody)
+            if self.current is not None:
+                self.cfg.add_edge(self.current, after)
+                self.current = after
+            else:
+                self.current = None
+                return
+        else:
+            if not exits:
+                self.current = None
+                return
+            for block in exits:
+                self.cfg.add_edge(block, after)
+            self.current = after
+
+    visit_TryStar = visit_Try
+
+    def visit_Match(self, stmt: ast.Match) -> None:
+        subject_block = self.current if self.current is not None else self._open()
+        self.current = subject_block
+        subject_block.stmts.append(stmt)
+        after = self._open()
+        fell_through = True
+        for case in stmt.cases:
+            entry = self._open()
+            self.cfg.add_edge(subject_block, entry)
+            self.current = entry
+            self.visit_body(case.body)
+            if self.current is not None:
+                self.cfg.add_edge(self.current, after)
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                fell_through = False  # wildcard case: match is exhaustive
+        if fell_through:
+            self.cfg.add_edge(subject_block, after)
+        self.current = after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG for one function definition."""
+    return _Builder(func).build()
+
+
+# ----------------------------------------------------------------------
+# Dominators / postdominators (iterative, Cooper-Harvey-Kennedy style
+# simplified to set intersection — the graphs here are tiny).
+# ----------------------------------------------------------------------
+def dominators(cfg: CFG) -> dict[Block, set[Block]]:
+    """Map each reachable block to the set of blocks dominating it."""
+    order = cfg.reverse_postorder()
+    universe = set(order)
+    dom: dict[Block, set[Block]] = {block: set(universe) for block in order}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is cfg.entry:
+                continue
+            preds = [p for p in block.preds if p in universe]
+            new = set.intersection(*(dom[p] for p in preds)) if preds else set()
+            new.add(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def postdominators(cfg: CFG) -> dict[Block, set[Block]]:
+    """Map each block to the blocks postdominating it (w.r.t. ``exit``)."""
+    order = cfg.reverse_postorder()
+    universe = set(order)
+    if cfg.exit not in universe:
+        return {block: set() for block in order}
+    pdom: dict[Block, set[Block]] = {block: set(universe) for block in order}
+    pdom[cfg.exit] = {cfg.exit}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order):
+            if block is cfg.exit:
+                continue
+            succs = [s for s in block.succs if s in universe]
+            new = set.intersection(*(pdom[s] for s in succs)) if succs else set()
+            new.add(block)
+            if new != pdom[block]:
+                pdom[block] = new
+                changed = True
+    return pdom
+
+
+# ----------------------------------------------------------------------
+# Generic forward worklist solver.
+# ----------------------------------------------------------------------
+S = TypeVar("S")
+
+
+def solve_forward(
+    cfg: CFG,
+    init: S,
+    bottom: S,
+    transfer: Callable[[Block, S], S],
+    join: Callable[[S, S], S],
+    equals: Callable[[S, S], bool],
+    max_passes: int = 50,
+) -> tuple[dict[Block, S], dict[Block, S]]:
+    """Iterate ``transfer`` to fixpoint; returns (block-in, block-out).
+
+    ``init`` seeds the entry block; unreachable joins start from
+    ``bottom``.  ``max_passes`` bounds iteration for domains without a
+    finite height (callers pass widening transfer functions).
+    """
+    order = cfg.reverse_postorder()
+    state_in: dict[Block, S] = {}
+    state_out: dict[Block, S] = {}
+    for _ in range(max_passes):
+        changed = False
+        for block in order:
+            if block is cfg.entry:
+                incoming = init
+            else:
+                incoming = bottom
+                for pred in block.preds:
+                    if pred in state_out:
+                        incoming = join(incoming, state_out[pred])
+            if block not in state_in or not equals(state_in[block], incoming):
+                state_in[block] = incoming
+                changed = True
+            outgoing = transfer(block, incoming)
+            if block not in state_out or not equals(state_out[block], outgoing):
+                state_out[block] = outgoing
+                changed = True
+        if not changed:
+            break
+    return state_in, state_out
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions — the reference dataflow client.
+# ----------------------------------------------------------------------
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [item.optional_vars for item in stmt.items if item.optional_vars]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> dict[Block, set[tuple[str, int]]]:
+    """Per-block-entry sets of ``(name, def_line)`` that may reach it."""
+
+    def transfer(block: Block, state: frozenset) -> frozenset:
+        defs = dict()
+        for name, line in state:
+            defs.setdefault(name, set()).add(line)
+        for stmt in block.stmts:
+            for name in _assigned_names(stmt):
+                defs[name] = {getattr(stmt, "lineno", 0)}
+        return frozenset(
+            (name, line) for name, lines in defs.items() for line in lines
+        )
+
+    state_in, _ = solve_forward(
+        cfg,
+        init=frozenset(),
+        bottom=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        equals=lambda a, b: a == b,
+    )
+    return {block: set(state) for block, state in state_in.items()}

@@ -1,0 +1,103 @@
+"""Shared abstract-domain plumbing for the flow analyses.
+
+The interval and effect interpreters both run over *environments*
+(finite maps from tracked keys to lattice values).  This module keeps
+the map algebra in one place, plus the naming scheme for the keys the
+field-sensitive analyses track:
+
+- ``"x"`` — a function-local variable;
+- ``"self.F"`` — an instance field rooted at ``self``;
+- ``"self.F[*]"`` — the *element summary* of a container field: one
+  abstract value standing for every element at any nesting depth
+  (stores join into it — weak update — loads read it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, TypeVar
+
+__all__ = [
+    "Env",
+    "FIELD_PREFIX",
+    "element_key",
+    "field_key",
+    "is_element_key",
+    "is_field_key",
+]
+
+FIELD_PREFIX = "self."
+
+V = TypeVar("V")
+
+
+def field_key(name: str) -> str:
+    """Key for instance field ``self.<name>``."""
+    return FIELD_PREFIX + name
+
+
+def element_key(key: str) -> str:
+    """Element-summary key for a container at ``key``."""
+    return key if key.endswith("[*]") else key + "[*]"
+
+
+def is_field_key(key: str) -> bool:
+    return key.startswith(FIELD_PREFIX)
+
+
+def is_element_key(key: str) -> bool:
+    return key.endswith("[*]")
+
+
+class Env(Generic[V]):
+    """A finite map lattice: pointwise join with an absent-key default.
+
+    ``default`` is the value an unmapped key denotes (top for the
+    interval domain, the initial typestate for effects); keys whose
+    value equals the default are dropped so environment equality is
+    canonical.
+    """
+
+    __slots__ = ("bindings", "default")
+
+    def __init__(self, default: V, bindings: dict[str, V] | None = None):
+        self.default = default
+        self.bindings: dict[str, V] = dict(bindings or {})
+
+    def get(self, key: str) -> V:
+        return self.bindings.get(key, self.default)
+
+    def set(self, key: str, value: V) -> None:
+        if value == self.default:
+            self.bindings.pop(key, None)
+        else:
+            self.bindings[key] = value
+
+    def copy(self) -> "Env[V]":
+        return Env(self.default, self.bindings)
+
+    def join(self, other: "Env[V]", join_value: Callable[[V, V], V]) -> "Env[V]":
+        merged: dict[str, V] = {}
+        for key in set(self.bindings) | set(other.bindings):
+            merged[key] = join_value(self.get(key), other.get(key))
+        return Env(self.default, merged)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Env):
+            return NotImplemented
+        return self.default == other.default and self.bindings == other.bindings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.bindings.items()))
+        return f"Env({items})"
+
+
+def self_attribute_name(node: ast.expr) -> str | None:
+    """``self.F`` -> ``"F"``; anything else -> ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,235 @@
+"""Effect harvesting for the crash-safety protocol analyses.
+
+The protocol rules (``flow-fsync-order``, ``flow-journal-order``,
+``flow-lease-release``) reason about a small effect vocabulary rather
+than concrete semantics.  This module extracts those effects, in
+evaluation order, from the statements of a CFG block:
+
+=================  ====================================================
+``write``          ``h.write(...)`` / ``p.write_text/bytes(...)`` /
+                   ``os.write(fd, ...)`` / ``json.dump(obj, h)`` —
+                   bytes headed for the file bound to the target key
+``fsync``          ``os.fsync(h)`` / ``os.fsync(h.fileno())``
+``flush``          ``h.flush()`` (buffer flush only — does *not*
+                   satisfy the fsync-before-replace obligation)
+``replace``        ``os.replace(src, dst)`` / ``os.rename(...)`` /
+                   ``src.replace(dst)`` on a bound path
+``unlink``         ``os.unlink(p)`` / ``p.unlink()``
+``journal_append`` ``<something named *journal*>.append(...)``
+``cache_put``      ``<something named *cache*>.put(...)``
+``lease_acquire``  ``<something named *lease*>.claim(...)``
+``lease_release``  ``....release(...)`` / ``lease_release_all`` for
+                   ``....release_all(...)``
+``self_call``      ``self.method(...)`` — the hook interprocedural
+                   summaries attach to
+=================  ====================================================
+
+File identity is tracked by *key*: the dotted source text of the path
+expression a handle was opened on (``tmp``, ``self._path``).  A
+pre-pass (:func:`bind_file_handles`) maps handle/fd locals back to
+those keys through ``open()``/``Path.open()``/``os.open()`` bindings,
+so ``os.fsync(handle.fileno())`` discharges the dirty bit of the file
+``handle`` writes to.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["Effect", "bind_file_handles", "block_effects", "harvest_effects"]
+
+
+@dataclass(frozen=True, slots=True)
+class Effect:
+    """One abstract effect, anchored at its AST node."""
+
+    kind: str
+    node: ast.AST
+    target: str | None = None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Source key of a Name/Attribute chain (``self._path``), else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def _name_parts(node: ast.expr) -> list[str]:
+    key = _dotted(node)
+    return key.lower().split(".") if key else []
+
+
+def _mentions(node: ast.expr, word: str) -> bool:
+    return any(word in part for part in _name_parts(node))
+
+
+def bind_file_handles(func: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
+    """Map handle/fd local names to the key of the path they open.
+
+    Shapes: ``h = open(p, ...)``, ``with open(p) as h``, ``with
+    p.open(...) as h``, ``fd = os.open(p, flags)``.
+    """
+
+    bindings: dict[str, str] = {}
+
+    def path_key(call: ast.Call) -> str | None:
+        func_node = call.func
+        if isinstance(func_node, ast.Name) and func_node.id == "open" and call.args:
+            return _dotted(call.args[0])
+        if isinstance(func_node, ast.Attribute):
+            if func_node.attr == "open":
+                base = _dotted(func_node.value)
+                if base == "os" and call.args:  # os.open(path, flags)
+                    return _dotted(call.args[0])
+                return base  # p.open(...)
+            if func_node.attr == "fdopen" and call.args:  # os.fdopen(fd, ...)
+                fd_key = _dotted(call.args[0])
+                return bindings.get(fd_key, fd_key) if fd_key else None
+        return None
+
+    def bind(target: ast.expr | None, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name) or not isinstance(value, ast.Call):
+            return
+        key = path_key(value)
+        if key is not None:
+            bindings[target.id] = key
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            bind(node.targets[0], node.value)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                bind(item.optional_vars, item.context_expr)
+    return bindings
+
+
+def _file_key(node: ast.expr, handles: dict[str, str]) -> str | None:
+    key = _dotted(node)
+    if key is None:
+        return None
+    return handles.get(key, key)
+
+
+def _call_effects(call: ast.Call, handles: dict[str, str]) -> list[Effect]:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return []
+    attr = func.attr
+    base = func.value
+
+    # -- OS-level file protocol ----------------------------------------
+    if _dotted(base) == "os":
+        if attr == "fsync" and call.args:
+            arg = call.args[0]
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Attribute)
+                and arg.func.attr == "fileno"
+            ):
+                arg = arg.func.value
+            return [Effect("fsync", call, _file_key(arg, handles))]
+        if attr == "write" and call.args:
+            return [Effect("write", call, _file_key(call.args[0], handles))]
+        if attr in {"replace", "rename"} and call.args:
+            return [Effect("replace", call, _file_key(call.args[0], handles))]
+        if attr in {"unlink", "remove"} and call.args:
+            return [Effect("unlink", call, _file_key(call.args[0], handles))]
+        return []
+
+    # -- handle / Path methods -----------------------------------------
+    if attr in {"write", "write_text", "write_bytes", "writelines"}:
+        return [Effect("write", call, _file_key(base, handles))]
+    if attr == "flush":
+        return [Effect("flush", call, _file_key(base, handles))]
+    if attr == "replace" and call.args and _dotted(base) is not None:
+        # Path.replace(dst) — only when the receiver is a plain
+        # name/attribute chain (string .replace() noise has arguments
+        # too, but never participates in the dirty-set, so keying on
+        # the receiver text is safe: unknown keys are never dirty).
+        return [Effect("replace", call, _file_key(base, handles))]
+    if attr == "unlink" and _dotted(base) is not None:
+        return [Effect("unlink", call, _file_key(base, handles))]
+
+    # -- json/pickle dump into a handle --------------------------------
+    if attr == "dump" and _dotted(base) in {"json", "pickle", "marshal"}:
+        if len(call.args) >= 2:
+            return [Effect("write", call, _file_key(call.args[1], handles))]
+        return []
+
+    # -- journal / cache / lease protocol ------------------------------
+    if attr == "append" and _mentions(base, "journal"):
+        return [Effect("journal_append", call)]
+    if attr == "put" and _mentions(base, "cache"):
+        return [Effect("cache_put", call)]
+    if attr == "claim" and _mentions(base, "lease"):
+        return [Effect("lease_acquire", call)]
+    if attr == "release" and _mentions(base, "lease"):
+        return [Effect("lease_release", call)]
+    if attr == "release_all" and _mentions(base, "lease"):
+        return [Effect("lease_release_all", call)]
+
+    # -- intra-class calls (summary hook) ------------------------------
+    if isinstance(base, ast.Name) and base.id == "self":
+        return [Effect("self_call", call, attr)]
+    return []
+
+
+def harvest_effects(stmt: ast.stmt, handles: dict[str, str]) -> list[Effect]:
+    """Effects of one statement, in evaluation order.
+
+    Calls are reported in postorder (arguments before the enclosing
+    call), matching Python's evaluation of nested expressions like
+    ``cache.put(key, self._compute(cell))``.
+    """
+
+    effects: list[Effect] = []
+
+    def visit(node: ast.AST) -> None:
+        # Skip nested statement scopes: lambdas/comprehensions execute
+        # their bodies, but nested function defs do not run here.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        if isinstance(node, ast.Call):
+            effects.extend(_call_effects(node, handles))
+
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While, ast.If, ast.With, ast.AsyncWith, ast.Try, ast.Match)):
+        # Header statements anchored in CFG blocks: only their
+        # header expressions evaluate here, not their bodies (the
+        # bodies are separate blocks).
+        headers: list[ast.AST] = []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            headers = [stmt.iter]
+        elif isinstance(stmt, ast.While):
+            headers = [stmt.test]
+        elif isinstance(stmt, ast.If):
+            headers = [stmt.test]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            headers = [item.context_expr for item in stmt.items]
+        elif isinstance(stmt, ast.Match):
+            headers = [stmt.subject]
+        for header in headers:
+            visit(header)
+        return effects
+
+    visit(stmt)
+    return effects
+
+
+def block_effects(
+    stmts: list[ast.stmt], handles: dict[str, str]
+) -> list[Effect]:
+    """Concatenated effects of a CFG block's statements."""
+    effects: list[Effect] = []
+    for stmt in stmts:
+        effects.extend(harvest_effects(stmt, handles))
+    return effects

@@ -1,0 +1,91 @@
+"""Finding baselines: adopt a rule without first paying down its debt.
+
+A baseline file records the findings a team has explicitly accepted;
+``repro-sim check --baseline FILE`` subtracts them from the current run
+so only *new* findings gate.  Keys are ``(rule, path, message)`` — no
+line numbers, so unrelated edits that shift a file do not resurrect
+accepted findings, while any change to the finding itself (different
+message, moved file) surfaces it again.
+
+Promotion workflow (see ``docs/static-analysis.md``):
+
+1. ``repro-sim check --write-baseline lint-baseline.json`` on the branch
+   that turns a rule on; commit the file with the rule change.
+2. CI runs ``repro-sim check --baseline lint-baseline.json`` — new
+   findings fail, accepted ones are reported as baselined.
+3. Each accepted finding is burned down by fixing it and re-writing the
+   baseline; a baseline entry that no longer matches anything is
+   reported as stale so the file shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.core import Finding, LintResult
+
+__all__ = ["apply_baseline", "baseline_key", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path.replace("\\", "/"), finding.message)
+
+
+def write_baseline(result: LintResult, path: str | Path) -> int:
+    """Record every current finding as accepted; returns the count."""
+    entries = sorted(
+        {baseline_key(finding) for finding in result.findings}
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a version-{_VERSION} lint baseline")
+    entries: set[tuple[str, str, str]] = set()
+    for item in raw.get("findings", ()):
+        entries.add((str(item["rule"]), str(item["path"]), str(item["message"])))
+    return entries
+
+
+def apply_baseline(
+    result: LintResult, path: str | Path
+) -> tuple[LintResult, list[Finding], list[tuple[str, str, str]]]:
+    """Subtract baselined findings from ``result``.
+
+    Returns ``(gating_result, baselined, stale)``: a result holding only
+    the findings absent from the baseline (its exit code is what CI
+    gates on), the findings the baseline absorbed, and baseline entries
+    that matched nothing (candidates for deletion).
+    """
+    accepted = load_baseline(path)
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in result.findings:
+        key = baseline_key(finding)
+        if key in accepted:
+            matched.add(key)
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+    gated = LintResult(
+        findings=fresh,
+        suppressed=list(result.suppressed) + baselined,
+        files_checked=result.files_checked,
+        rules_run=result.rules_run,
+    )
+    stale = sorted(accepted - matched)
+    return gated, baselined, stale

@@ -242,6 +242,9 @@ def _load_builtin_rules() -> None:
         bitwidth,
         contracts,
         determinism,
+        flow_bitwidth,
+        flow_protocol,
+        flow_state,
         telemetry,
     )
 

@@ -1,0 +1,649 @@
+"""Crash-safety protocol ordering over ``repro/experiments``.
+
+The sweep scheduler's crash-safety story rests on three orderings that
+are easy to break silently in review:
+
+- **flow-fsync-order** — bytes written to a temp file must be fsynced
+  before ``os.replace`` publishes it; rename-before-sync can publish a
+  torn file after a crash.
+- **flow-journal-order** — every path that reaches ``cache.put`` must
+  have appended a journal record first (write-ahead intent): a cache
+  entry with no journal trace is invisible to crash recovery.
+- **flow-lease-release** — a lease claimed inside a public entry point
+  must be released (or ``release_all``) on every normally-returning
+  path, or a crash-free run still leaves cells locked out.
+
+All three are MAY/MUST dataflow problems over the effect vocabulary of
+:mod:`repro.analysis.flow.effects`, solved with per-edge worklists over
+:func:`repro.analysis.flow.cfg.build_cfg` graphs.  ``if`` guards live
+only on CFG edges (never in blocks), so guard-expression effects and
+branch correlation (``if lease is None``, ``if not self._claim(...)``)
+are applied during edge traversal; loop headers carry their test both
+in the block and on the edge, which is safe because every effect here
+is idempotent on its lattice.
+
+Exceptional exits are deliberately out of scope: the crash model treats
+an escaping exception like a kill, and the journal/lease machinery is
+designed to recover from kills (leases are advisory, journals replay).
+Only *normal* returns are audited.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.flow.cfg import CFG, Block, Edge, build_cfg
+from repro.analysis.flow.effects import (
+    Effect,
+    bind_file_handles,
+    harvest_effects,
+)
+from repro.analysis.lint.core import (
+    ProjectContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+__all__ = []
+
+
+def _is_experiment(source: SourceFile) -> bool:
+    return "experiments" in source.dir_names and source.tree is not None
+
+
+def _functions(tree: ast.AST) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _methods(node: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _guard_effects(edge: Edge, handles: dict[str, str]) -> list[Effect]:
+    """Effects of the branch condition an edge assumes (``if`` guards
+    are only materialized on edges, never inside blocks)."""
+    if edge.guard is None:
+        return []
+    return harvest_effects(ast.Expr(value=edge.guard), handles)
+
+
+def _strip_not(guard: ast.expr, value: bool) -> tuple[ast.expr, bool]:
+    while isinstance(guard, ast.UnaryOp) and isinstance(guard.op, ast.Not):
+        guard = guard.operand
+        value = not value
+    return guard, value
+
+
+def _self_call_name(expr: ast.expr) -> str | None:
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and isinstance(expr.func.value, ast.Name)
+        and expr.func.value.id == "self"
+    ):
+        return expr.func.attr
+    return None
+
+
+def _none_compare(expr: ast.expr) -> tuple[str, bool] | None:
+    """``name is None`` -> ("name", True); ``name is not None`` ->
+    ("name", False); anything else -> None."""
+    if (
+        isinstance(expr, ast.Compare)
+        and len(expr.ops) == 1
+        and isinstance(expr.left, ast.Name)
+        and isinstance(expr.comparators[0], ast.Constant)
+        and expr.comparators[0].value is None
+    ):
+        if isinstance(expr.ops[0], ast.Is):
+            return expr.left.id, True
+        if isinstance(expr.ops[0], ast.IsNot):
+            return expr.left.id, False
+    return None
+
+
+def _propagate(
+    cfg: CFG,
+    init,
+    transfer_block: Callable[[Block, object], object],
+    transfer_edge: Callable[[Edge, object], object],
+    join: Callable[[object, object], object],
+) -> dict[int, object]:
+    """Edge-based forward worklist to fixpoint; returns block-entry
+    states keyed by block id (unreachable blocks absent)."""
+    states: dict[int, object] = {cfg.entry.id: init}
+    work: deque[Block] = deque([cfg.entry])
+    fuel = 64 * max(1, len(cfg.blocks))
+    while work and fuel > 0:
+        fuel -= 1
+        block = work.popleft()
+        out = transfer_block(block, states[block.id])
+        for edge in block.edges:
+            candidate = transfer_edge(edge, out)
+            current = states.get(edge.dst.id)
+            merged = candidate if current is None else join(current, candidate)
+            if current is None or merged != current:
+                states[edge.dst.id] = merged
+                work.append(edge.dst)
+    return states
+
+
+def _exit_records(
+    cfg: CFG,
+    states: dict[int, object],
+    step_stmt: Callable[[ast.stmt, object], object],
+) -> list[tuple[object, bool | None]]:
+    """``(state, returned_literal)`` at every *normal* function exit.
+
+    Walks each reachable block forward from its fixpoint entry state;
+    records at ``return`` statements (literal ``True``/``False`` kept
+    for branch-correlated summaries) and at fall-off-the-end blocks.
+    ``raise`` exits are intentionally not recorded — see module doc.
+    """
+    records: list[tuple[object, bool | None]] = []
+    for block in cfg.blocks:
+        if block.id not in states:
+            continue
+        state = states[block.id]
+        for stmt in block.stmts:
+            state = step_stmt(stmt, state)
+            if isinstance(stmt, ast.Return):
+                literal: bool | None = None
+                if isinstance(stmt.value, ast.Constant) and isinstance(
+                    stmt.value.value, bool
+                ):
+                    literal = stmt.value.value
+                records.append((state, literal))
+        if (
+            any(edge.dst is cfg.exit for edge in block.edges)
+            and block is not cfg.exit
+            and not (block.stmts and isinstance(block.stmts[-1], (ast.Return, ast.Raise)))
+        ):
+            records.append((state, None))
+    return records
+
+
+# ======================================================================
+# flow-fsync-order
+# ======================================================================
+@register_rule
+class FsyncOrderRule(Rule):
+    """fsync must dominate the rename that publishes the bytes."""
+
+    id = "flow-fsync-order"
+    description = (
+        "os.replace/rename publishes a file whose written bytes may not "
+        "have been fsynced on some path — a crash after the rename can "
+        "leave a torn or empty published file"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext):
+        if not _is_experiment(source):
+            return
+        for func in _functions(source.tree):
+            handles = bind_file_handles(func)
+            cfg = build_cfg(func)
+
+            def apply(effects: list[Effect], dirty: frozenset, report=None) -> frozenset:
+                out = set(dirty)
+                for effect in effects:
+                    if effect.target is None:
+                        continue
+                    if effect.kind == "write":
+                        out.add(effect.target)
+                    elif effect.kind == "fsync":
+                        out.discard(effect.target)
+                    elif effect.kind in {"replace", "unlink"}:
+                        if (
+                            effect.kind == "replace"
+                            and effect.target in out
+                            and report is not None
+                        ):
+                            report.append(effect)
+                        out.discard(effect.target)
+                return frozenset(out)
+
+            states = _propagate(
+                cfg,
+                init=frozenset(),
+                transfer_block=lambda block, state: apply(
+                    _block_effects(block, handles), state
+                ),
+                transfer_edge=lambda edge, state: apply(
+                    _guard_effects(edge, handles), state
+                ),
+                join=lambda a, b: a | b,
+            )
+
+            hits: list[Effect] = []
+            seen: set[tuple[int, int]] = set()
+            for block in cfg.blocks:
+                if block.id not in states:
+                    continue
+                apply(_block_effects(block, handles), states[block.id], report=hits)
+            for effect in hits:
+                anchor = (effect.node.lineno, effect.node.col_offset)
+                if anchor in seen:
+                    continue
+                seen.add(anchor)
+                yield self.finding(
+                    source,
+                    effect.node,
+                    f"{func.name}() renames {effect.target} into place while "
+                    "its written bytes may be unflushed on this path — call "
+                    "os.fsync(fd) (flush() alone only empties the userspace "
+                    "buffer) before os.replace, or a crash can publish a "
+                    "torn file",
+                )
+
+
+def _block_effects(block: Block, handles: dict[str, str]) -> list[Effect]:
+    effects: list[Effect] = []
+    for stmt in block.stmts:
+        effects.extend(harvest_effects(stmt, handles))
+    return effects
+
+
+# ======================================================================
+# flow-journal-order
+# ======================================================================
+@dataclass
+class _JournalSummary:
+    always: bool = False  # journaled on every normal exit
+    on_true: bool = False  # ... on exits returning literal True
+    on_false: bool = False  # ... on exits returning literal False
+
+
+@register_rule
+class JournalOrderRule(Rule):
+    """A journal append must dominate every cache.put (write-ahead)."""
+
+    id = "flow-journal-order"
+    description = (
+        "a path reaches cache.put without any preceding journal.append "
+        "— crash recovery replays the journal, so an unjournaled cache "
+        "write is invisible to it (write-ahead intent violated)"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext):
+        if not _is_experiment(source):
+            return
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lowered = node.name.lower()
+            if "journal" in lowered or "cache" in lowered:
+                # The journal/cache primitives themselves sit *below*
+                # the protocol; the ordering contract binds their users.
+                continue
+            yield from self._check_class(source, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, source: SourceFile, node: ast.ClassDef):
+        methods = _methods(node)
+        cfgs = {method.name: build_cfg(method) for method in methods}
+
+        summaries: dict[str, _JournalSummary] = {}
+        for _ in range(2):  # two rounds: callees summarized before callers
+            round_summaries: dict[str, _JournalSummary] = {}
+            for method in methods:
+                states = self._solve(cfgs[method.name], summaries)
+                records = _exit_records(
+                    cfgs[method.name],
+                    states,
+                    lambda stmt, state: self._step(stmt, state, summaries),
+                )
+                round_summaries[method.name] = self._summarize(records)
+            summaries = round_summaries
+
+        # Final pass: collect unjournaled put sites and, for the
+        # verdict, the caller-side journaled-ness at each self-call.
+        candidates: dict[str, list[ast.AST]] = {}
+        call_states: dict[str, list[bool]] = {}
+        for method in methods:
+            cfg = cfgs[method.name]
+            states = self._solve(cfg, summaries)
+            for block in cfg.blocks:
+                if block.id not in states:
+                    continue
+                state = states[block.id]
+                for stmt in block.stmts:
+                    for effect in harvest_effects(stmt, {}):
+                        if effect.kind == "cache_put" and not state:
+                            candidates.setdefault(method.name, []).append(effect.node)
+                        elif effect.kind == "self_call":
+                            call_states.setdefault(effect.target, []).append(state)
+                        state = self._apply(effect, state, summaries)
+
+        # Call-site census over the whole class INCLUDING nested defs
+        # (closures the CFG analysis cannot see): a method called only
+        # from invisible sites is conservatively treated as satisfied
+        # when every visible site is journaled.
+        site_counts: dict[str, int] = {}
+        for inner in ast.walk(node):
+            name = _self_call_name(inner) if isinstance(inner, ast.Call) else None
+            if name is not None:
+                site_counts[name] = site_counts.get(name, 0) + 1
+
+        for method_name, nodes in candidates.items():
+            is_root = site_counts.get(method_name, 0) == 0
+            visible = call_states.get(method_name, [])
+            if not is_root and visible and all(visible):
+                continue  # every observed caller journaled first
+            for anchor in nodes:
+                context = (
+                    "and no caller journals first"
+                    if is_root
+                    else "and at least one call site reaches it unjournaled"
+                )
+                yield self.finding(
+                    source,
+                    anchor,
+                    f"{node.name}.{method_name} calls cache.put with no "
+                    f"journal.append on some path {context} — append the "
+                    "intent record before the cache write so recovery can "
+                    "see it",
+                )
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self, effect: Effect, state: bool, summaries: dict[str, _JournalSummary]
+    ) -> bool:
+        if effect.kind == "journal_append":
+            return True
+        if effect.kind == "self_call":
+            summary = summaries.get(effect.target)
+            if summary is not None and summary.always:
+                return True
+        return state
+
+    def _step(
+        self, stmt: ast.stmt, state: bool, summaries: dict[str, _JournalSummary]
+    ) -> bool:
+        for effect in harvest_effects(stmt, {}):
+            state = self._apply(effect, state, summaries)
+        return state
+
+    def _solve(
+        self, cfg: CFG, summaries: dict[str, _JournalSummary]
+    ) -> dict[int, bool]:
+        def transfer_block(block: Block, state: bool) -> bool:
+            for stmt in block.stmts:
+                state = self._step(stmt, state, summaries)
+            return state
+
+        def transfer_edge(edge: Edge, state: bool) -> bool:
+            for effect in _guard_effects(edge, {}):
+                state = self._apply(effect, state, summaries)
+            if edge.guard is None:
+                return state
+            guard, value = _strip_not(edge.guard, bool(edge.guard_value))
+            callee = _self_call_name(guard)
+            if callee is not None and callee in summaries:
+                summary = summaries[callee]
+                branch = summary.on_true if value else summary.on_false
+                state = state or branch
+            return state
+
+        return _propagate(
+            cfg,
+            init=False,
+            transfer_block=transfer_block,
+            transfer_edge=transfer_edge,
+            join=lambda a, b: a and b,  # MUST: journaled only if on all paths
+        )
+
+    @staticmethod
+    def _summarize(records: list[tuple[bool, bool | None]]) -> _JournalSummary:
+        def conjoin(filtered: list[bool]) -> bool:
+            return all(filtered) if filtered else True  # vacuous: never exits
+
+        states = [state for state, _ in records]
+        true_side = [s for s, lit in records if lit is not False]
+        false_side = [s for s, lit in records if lit is not True]
+        return _JournalSummary(
+            always=conjoin(states),
+            on_true=conjoin(true_side),
+            on_false=conjoin(false_side),
+        )
+
+
+# ======================================================================
+# flow-lease-release
+# ======================================================================
+@dataclass(frozen=True)
+class _LeaseState:
+    """MAY-held acquire sites, plus which locals still name them."""
+
+    held: frozenset = frozenset()  # linenos of claim() calls possibly live
+    bound: frozenset = frozenset()  # (local name, claim lineno) pairs
+    entry_preserved: bool = True  # leases held by the caller still held?
+
+    def join(self, other: "_LeaseState") -> "_LeaseState":
+        return _LeaseState(
+            held=self.held | other.held,
+            bound=self.bound & other.bound,  # refinement needs agreement
+            entry_preserved=self.entry_preserved or other.entry_preserved,
+        )
+
+    def cleared(self) -> "_LeaseState":
+        return _LeaseState(held=frozenset(), bound=frozenset(), entry_preserved=False)
+
+
+@dataclass
+class _LeaseSummary:
+    may_hold: frozenset = frozenset()  # acquire sites possibly live at exit
+    on_true: frozenset = frozenset()
+    on_false: frozenset = frozenset()
+    clears: bool = False  # releases caller-held leases on all normal exits
+
+
+@register_rule
+class LeaseReleaseRule(Rule):
+    """Lease release must postdominate acquisition in entry points."""
+
+    id = "flow-lease-release"
+    description = (
+        "a lease claimed inside a public entry point can still be held "
+        "when the entry point returns normally — without a release the "
+        "cell stays locked out until the lease expires"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile, ctx: ProjectContext):
+        if not _is_experiment(source):
+            return
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "lease" in node.name.lower():
+                continue  # the lease manager itself is the primitive
+            yield from self._check_class(source, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, source: SourceFile, node: ast.ClassDef):
+        methods = _methods(node)
+        cfgs = {method.name: build_cfg(method) for method in methods}
+        acquire_nodes: dict[int, ast.AST] = {}
+
+        summaries: dict[str, _LeaseSummary] = {}
+        for _ in range(2):
+            round_summaries: dict[str, _LeaseSummary] = {}
+            for method in methods:
+                states = self._solve(cfgs[method.name], summaries, acquire_nodes)
+                records = _exit_records(
+                    cfgs[method.name],
+                    states,
+                    lambda stmt, state: self._step(
+                        stmt, state, summaries, acquire_nodes
+                    ),
+                )
+                round_summaries[method.name] = self._summarize(records)
+            summaries = round_summaries
+
+        site_counts: dict[str, int] = {}
+        for inner in ast.walk(node):
+            name = _self_call_name(inner) if isinstance(inner, ast.Call) else None
+            if name is not None:
+                site_counts[name] = site_counts.get(name, 0) + 1
+
+        reported: set[int] = set()
+        for method in methods:
+            if site_counts.get(method.name, 0) > 0:
+                continue  # not an entry point; audited through its callers
+            if method.name == "__init__":
+                continue
+            states = self._solve(cfgs[method.name], summaries, acquire_nodes)
+            records = _exit_records(
+                cfgs[method.name],
+                states,
+                lambda stmt, state: self._step(stmt, state, summaries, acquire_nodes),
+            )
+            leaked = frozenset().union(*(state.held for state, _ in records)) if records else frozenset()
+            for lineno in sorted(leaked):
+                if lineno in reported:
+                    continue
+                reported.add(lineno)
+                anchor = acquire_nodes.get(lineno)
+                if anchor is None:
+                    continue
+                yield self.finding(
+                    source,
+                    anchor,
+                    f"lease claimed here may still be held when entry point "
+                    f"{node.name}.{method.name}() returns — release it (or "
+                    "release_all) on every normally-returning path",
+                )
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        effect: Effect,
+        state: _LeaseState,
+        summaries: dict[str, _LeaseSummary],
+        acquire_nodes: dict[int, ast.AST],
+    ) -> _LeaseState:
+        if effect.kind == "lease_acquire":
+            acquire_nodes.setdefault(effect.node.lineno, effect.node)
+            return _LeaseState(
+                held=state.held | {effect.node.lineno},
+                bound=state.bound,
+                entry_preserved=state.entry_preserved,
+            )
+        if effect.kind in {"lease_release", "lease_release_all"}:
+            # Coarse but sound-enough: any release clears the MAY-held
+            # set (the release paths in this codebase release whatever
+            # the method acquired).
+            return state.cleared()
+        if effect.kind == "self_call":
+            summary = summaries.get(effect.target)
+            if summary is not None:
+                if summary.clears:
+                    state = state.cleared()
+                return _LeaseState(
+                    held=state.held | summary.may_hold,
+                    bound=state.bound,
+                    entry_preserved=state.entry_preserved,
+                )
+        return state
+
+    def _step(
+        self,
+        stmt: ast.stmt,
+        state: _LeaseState,
+        summaries: dict[str, _LeaseSummary],
+        acquire_nodes: dict[int, ast.AST],
+    ) -> _LeaseState:
+        effects = harvest_effects(stmt, {})
+        for effect in effects:
+            state = self._apply(effect, state, summaries, acquire_nodes)
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            name = stmt.targets[0].id
+            bound = frozenset(b for b in state.bound if b[0] != name)
+            acquires = [e for e in effects if e.kind == "lease_acquire"]
+            if acquires:
+                bound = bound | {(name, acquires[-1].node.lineno)}
+            state = _LeaseState(
+                held=state.held, bound=bound, entry_preserved=state.entry_preserved
+            )
+        return state
+
+    def _solve(
+        self,
+        cfg: CFG,
+        summaries: dict[str, _LeaseSummary],
+        acquire_nodes: dict[int, ast.AST],
+    ) -> dict[int, _LeaseState]:
+        def transfer_block(block: Block, state: _LeaseState) -> _LeaseState:
+            for stmt in block.stmts:
+                state = self._step(stmt, state, summaries, acquire_nodes)
+            return state
+
+        def transfer_edge(edge: Edge, state: _LeaseState) -> _LeaseState:
+            for effect in _guard_effects(edge, {}):
+                state = self._apply(effect, state, summaries, acquire_nodes)
+            if edge.guard is None:
+                return state
+            guard, value = _strip_not(edge.guard, bool(edge.guard_value))
+            callee = _self_call_name(guard)
+            if callee is not None and callee in summaries:
+                summary = summaries[callee]
+                branch = summary.on_true if value else summary.on_false
+                state = _LeaseState(
+                    held=(state.held - summary.may_hold) | branch,
+                    bound=state.bound,
+                    entry_preserved=state.entry_preserved,
+                )
+            none_test = _none_compare(guard)
+            if none_test is not None:
+                name, none_when_true = none_test
+                if value == none_when_true:  # this edge knows name is None
+                    dead = frozenset(b for b in state.bound if b[0] == name)
+                    state = _LeaseState(
+                        held=state.held - frozenset(lineno for _, lineno in dead),
+                        bound=state.bound - dead,
+                        entry_preserved=state.entry_preserved,
+                    )
+            return state
+
+        return _propagate(
+            cfg,
+            init=_LeaseState(),
+            transfer_block=transfer_block,
+            transfer_edge=transfer_edge,
+            join=lambda a, b: a.join(b),
+        )
+
+    @staticmethod
+    def _summarize(records: list[tuple[_LeaseState, bool | None]]) -> _LeaseSummary:
+        def union(filtered: list[_LeaseState]) -> frozenset:
+            out: frozenset = frozenset()
+            for state in filtered:
+                out = out | state.held
+            return out
+
+        states = [state for state, _ in records]
+        true_side = [s for s, lit in records if lit is not False]
+        false_side = [s for s, lit in records if lit is not True]
+        return _LeaseSummary(
+            may_hold=union(states),
+            on_true=union(true_side),
+            on_false=union(false_side),
+            clears=bool(states) and not any(s.entry_preserved for s in states),
+        )

@@ -1,8 +1,10 @@
-"""Finding reporters: human-readable text and machine-readable JSON.
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
 
 The JSON shape is stable (CI parses exit codes, humans parse the text,
 tools parse this): top-level counts plus one object per finding with
-``rule``/``path``/``line``/``col``/``message``/``severity``.
+``rule``/``path``/``line``/``col``/``message``/``severity``.  The SARIF
+output follows the 2.1.0 schema closely enough for GitHub code-scanning
+upload: one run, one driver, per-rule metadata, one result per finding.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ import json
 
 from repro.analysis.lint.core import LintResult, all_rules
 
-__all__ = ["render_text", "render_json", "render_rule_list"]
+__all__ = ["render_text", "render_json", "render_rule_list", "render_sarif"]
 
 
 def render_text(result: LintResult) -> str:
@@ -35,6 +37,71 @@ def render_json(result: LintResult) -> str:
         "rules_run": list(result.rules_run),
         "findings": [finding.to_dict() for finding in result.findings],
         "suppressed_findings": [finding.to_dict() for finding in result.suppressed],
+    }
+    return json.dumps(payload, indent=2)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log for the run (GitHub code-scanning compatible)."""
+    ran = set(result.rules_run)
+    rules = [rule for rule in all_rules() if rule.id in ran]
+    rule_index = {rule.id: position for position, rule in enumerate(rules)}
+    sarif_results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        sarif_results.append(entry)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-sim-check",
+                        "informationUri": "https://example.invalid/repro-sim",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "shortDescription": {"text": rule.description},
+                                "defaultConfiguration": {
+                                    "level": "error"
+                                    if rule.severity == "error"
+                                    else "warning"
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2)
 

@@ -126,7 +126,7 @@ class SetAssociativeCache:
                 raise ValueError(
                     f"policy {self.policy.name!r} chose invalid way {way} "
                     f"in a {self.geometry.associativity}-way set"
-                )
+                ) from None
             victim_address = (set_tags[way] << self._tag_shift) | (
                 set_index << self._offset_bits
             )

@@ -586,9 +586,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     """Static analysis: lint source trees for simulator-invariant violations."""
     from repro.analysis.lint import (
         LintEngine,
+        all_rules,
+        apply_baseline,
         render_json,
         render_rule_list,
+        render_sarif,
         render_text,
+        write_baseline,
     )
 
     if args.list_rules:
@@ -602,13 +606,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
     rules = None
     if args.rules:
         rules = [rule_id for spec in args.rules for rule_id in spec.split(",") if rule_id]
+    if args.engine != "all":
+        # The flow tier is every flow-* rule; the syntax tier is the rest.
+        tier = [
+            rule.id
+            for rule in all_rules()
+            if rule.id.startswith("flow-") == (args.engine == "flow")
+        ]
+        rules = [r for r in rules if r in tier] if rules is not None else tier
     try:
         engine = LintEngine(paths, rules=rules)
         result = engine.run()
     except (FileNotFoundError, ValueError) as error:
         print(f"repro-sim check: {error}")
         return 2
-    print(render_json(result) if args.format == "json" else render_text(result))
+    if args.write_baseline:
+        count = write_baseline(result, args.write_baseline)
+        print(f"wrote {count} accepted finding(s) to {args.write_baseline}")
+        return 0
+    stale: list[tuple[str, str, str]] = []
+    baselined = []
+    if args.baseline:
+        try:
+            result, baselined, stale = apply_baseline(result, args.baseline)
+        except (FileNotFoundError, ValueError, KeyError) as error:
+            print(f"repro-sim check: {error}")
+            return 2
+    renderers = {"json": render_json, "sarif": render_sarif, "text": render_text}
+    print(renderers[args.format](result))
+    if args.format == "text":
+        if baselined:
+            print(f"{len(baselined)} finding(s) absorbed by {args.baseline}")
+        for rule_id, path, _message in stale:
+            print(f"stale baseline entry: {rule_id} at {path} no longer fires")
     return result.exit_code
 
 
@@ -888,11 +918,21 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("paths", nargs="*",
                        help="files or directories to lint (default: the "
                             "installed repro package)")
-    check.add_argument("--format", choices=["text", "json"], default="text",
+    check.add_argument("--format", choices=["text", "json", "sarif"],
+                       default="text",
                        help="finding report format (default: text)")
     check.add_argument("--rules", action="append", default=[],
                        metavar="RULE[,RULE...]",
                        help="run only these rule ids (repeatable)")
+    check.add_argument("--engine", choices=["syntax", "flow", "all"],
+                       default="all",
+                       help="rule tier: 'syntax' pattern rules, 'flow' "
+                            "dataflow proofs (flow-*), or both (default)")
+    check.add_argument("--baseline", metavar="FILE", default=None,
+                       help="subtract the accepted findings in FILE; only "
+                            "new findings gate the exit code")
+    check.add_argument("--write-baseline", metavar="FILE", default=None,
+                       help="accept every current finding into FILE and exit")
     check.add_argument("--list-rules", action="store_true",
                        help="list every rule id with its description and exit")
     check.set_defaults(func=_cmd_check)

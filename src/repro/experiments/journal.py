@@ -220,7 +220,11 @@ class LeaseManager:
         path = self._path(lease.digest)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        # Leases are advisory liveness hints with a TTL, not durable
+        # state: a lease file torn by a crash parses as invalid, reads
+        # as expired, and is reclaimed — an fsync per heartbeat would
+        # buy nothing but latency on the scheduler hot path.
+        os.replace(tmp, path)  # repro: allow(flow-fsync-order)
 
     def _read(self, digest: str) -> dict | None:
         try:

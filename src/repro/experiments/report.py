@@ -49,7 +49,7 @@ def bar_chart(
     peak = max(values) or 1.0
     label_width = max(len(label) for label in labels)
     lines = []
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         bar = "#" * max(int(round(value / peak * width)), 0)
         lines.append(f"{label:<{label_width}}  {bar} {value:.3f}{unit}")
     return "\n".join(lines)

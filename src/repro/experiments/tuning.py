@@ -93,7 +93,7 @@ def sweep_ghrp(
     fields = sorted(grid)
     points: list[TuningPoint] = []
     for values in itertools.product(*(grid[field] for field in fields)):
-        overrides = dict(zip(fields, values))
+        overrides = dict(zip(fields, values, strict=True))
         config = base.with_overrides(**overrides)
         icache_total = btb_total = 0.0
         for workload in workloads:

@@ -72,6 +72,7 @@ class HashedPerceptronKernel:
             "outcome_history": self._outcome_history,
             "path_history": self._path_history,
             "last_sum": self._last_sum,
+            "indices": self._indices,
             "delta_predictions": self._d_predictions,
             "delta_mispredictions": self._d_mispredictions,
         }

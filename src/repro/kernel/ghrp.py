@@ -18,7 +18,7 @@ from repro.core.tables import Aggregation
 from repro.kernel.base import BYPASS, FILL, HIT, CacheKernel, KernelContext, register_kernel
 from repro.policies.ghrp_policy import GHRPBTBPolicy, GHRPPolicy
 from repro.util.bits import mask
-from repro.util.hashing import SkewedIndexTable, skewed_indices
+from repro.util.hashing import SkewedIndexTable
 
 __all__ = ["GHRPKernelState", "GHRPCacheKernel", "GHRPBTBKernel"]
 
@@ -103,13 +103,6 @@ class GHRPKernelState:
     # ------------------------------------------------------------------
     # Flattened predictor operations (PredictionTableBank/PathHistory twins)
     # ------------------------------------------------------------------
-    def indices(self, signature: int) -> tuple[int, ...]:
-        cached = self.lookup.get(signature)
-        if cached is None:
-            cached = skewed_indices(signature, self.num_tables, self.index_bits)
-            self.lookup[signature] = cached
-        return cached
-
     def predict(self, signature: int, threshold: int) -> bool:
         """``tables.predict(...).is_dead`` without the Vote allocation."""
         self.d_predictions += 1
@@ -117,12 +110,12 @@ class GHRPKernelState:
         idx = self.lookup[signature]
         if self.majority:
             votes = 0
-            for row, index in zip(self.tables, idx):
+            for row, index in zip(self.tables, idx, strict=True):
                 if row[index] >= threshold:
                     votes += 1
             return votes > self.majority_cut
         total = 0
-        for row, index in zip(self.tables, idx):
+        for row, index in zip(self.tables, idx, strict=True):
             total += row[index]
         return total >= self.sum_threshold
 
@@ -130,13 +123,13 @@ class GHRPKernelState:
         idx = self.lookup[signature]
         if is_dead:
             counter_max = self.counter_max
-            for row, index in zip(self.tables, idx):
+            for row, index in zip(self.tables, idx, strict=True):
                 value = row[index]
                 if value < counter_max:
                     row[index] = value + 1
             self.d_increments += 1
         else:
-            for row, index in zip(self.tables, idx):
+            for row, index in zip(self.tables, idx, strict=True):
                 value = row[index]
                 if value > 0:
                     row[index] = value - 1

@@ -74,7 +74,7 @@ class SDBPKernel(CacheKernel):
         # Direct lookup: precompute() covered the whole signature space.
         idx = self._lookup[signature]
         total = 0
-        for row, index in zip(self._counter_rows, idx):
+        for row, index in zip(self._counter_rows, idx, strict=True):
             total += row[index]
         return total
 
@@ -82,13 +82,13 @@ class SDBPKernel(CacheKernel):
         idx = self._lookup[signature]
         if is_dead:
             counter_max = self._counter_max
-            for row, index in zip(self._counter_rows, idx):
+            for row, index in zip(self._counter_rows, idx, strict=True):
                 value = row[index]
                 if value < counter_max:
                     row[index] = value + 1
             self._d_increments += 1
         else:
-            for row, index in zip(self._counter_rows, idx):
+            for row, index in zip(self._counter_rows, idx, strict=True):
                 value = row[index]
                 if value > 0:
                     row[index] = value - 1

@@ -176,7 +176,7 @@ def _walk(expected, actual, path, diffs, limit) -> None:
                 f"{path}: length {len(expected)} != {len(actual)}"
             )
             return
-        for index, (left, right) in enumerate(zip(expected, actual)):
+        for index, (left, right) in enumerate(zip(expected, actual, strict=True)):
             _walk(left, right, f"{path}[{index}]", diffs, limit)
             if len(diffs) >= limit:
                 return

@@ -175,7 +175,7 @@ class SkewedIndexTable:
                 value >>= shift
             columns.append(folded.tolist())
         cache = self._cache
-        for signature, indices in enumerate(zip(*columns)):
+        for signature, indices in enumerate(zip(*columns, strict=True)):
             cache[signature] = indices
 
     @property

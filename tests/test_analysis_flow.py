@@ -1,0 +1,347 @@
+"""Units for the dataflow framework: CFGs, dominators, intervals, effects.
+
+These exercise :mod:`repro.analysis.flow` directly — the rule-level
+behaviour (``flow-*`` findings) lives in ``test_analysis_flow_rules.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.flow.cfg import (
+    build_cfg,
+    dominators,
+    postdominators,
+    reaching_definitions,
+)
+from repro.analysis.flow.domains import Env, element_key, field_key
+from repro.analysis.flow.effects import bind_file_handles, harvest_effects
+from repro.analysis.flow.intervals import Interval, IntervalAnalyzer
+
+
+def func_of(code: str) -> ast.FunctionDef:
+    tree = ast.parse(code)
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCFG:
+    def test_straight_line_single_path(self):
+        cfg = build_cfg(func_of("def f(x):\n    y = x\n    return y\n"))
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+        assert cfg.exit in order
+        # Exactly one block carries statements.
+        stmt_blocks = [b for b in order if b.stmts]
+        assert len(stmt_blocks) == 1
+        assert len(stmt_blocks[0].stmts) == 2
+
+    def test_if_guard_lives_on_edges_not_blocks(self):
+        cfg = build_cfg(
+            func_of("def f(x):\n    if x:\n        y = 1\n    else:\n        y = 2\n    return y\n")
+        )
+        guards = [
+            edge
+            for block in cfg.blocks
+            for edge in block.edges
+            if edge.guard is not None
+        ]
+        assert {edge.guard_value for edge in guards} == {True, False}
+        # The If statement itself is never appended to a block.
+        assert not any(
+            isinstance(stmt, ast.If) for block in cfg.blocks for stmt in block.stmts
+        )
+
+    def test_diamond_dominators(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(x):\n"
+                "    a = 1\n"
+                "    if x:\n"
+                "        b = 1\n"
+                "    else:\n"
+                "        c = 1\n"
+                "    d = 1\n"
+                "    return d\n"
+            )
+        )
+        dom = dominators(cfg)
+        blocks = {stmt.targets[0].id: block
+                  for block in cfg.reverse_postorder()
+                  for stmt in block.stmts
+                  if isinstance(stmt, ast.Assign)}
+        assert blocks["a"] in dom[blocks["b"]]
+        assert blocks["a"] in dom[blocks["c"]]
+        assert blocks["a"] in dom[blocks["d"]]
+        assert blocks["b"] not in dom[blocks["d"]]
+        assert blocks["c"] not in dom[blocks["d"]]
+
+    def test_postdominators_join_after_branch(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(x):\n"
+                "    a = 1\n"
+                "    if x:\n"
+                "        b = 1\n"
+                "    d = 1\n"
+                "    return d\n"
+            )
+        )
+        pdom = postdominators(cfg)
+        blocks = {stmt.targets[0].id: block
+                  for block in cfg.reverse_postorder()
+                  for stmt in block.stmts
+                  if isinstance(stmt, ast.Assign)}
+        assert blocks["d"] in pdom[blocks["a"]]
+        assert blocks["d"] in pdom[blocks["b"]]
+        assert blocks["b"] not in pdom[blocks["a"]]
+
+    def test_while_has_back_edge(self):
+        cfg = build_cfg(
+            func_of("def f(x):\n    while x:\n        x = x - 1\n    return x\n")
+        )
+        header = next(
+            b for b in cfg.blocks if b.stmts and isinstance(b.stmts[0], ast.While)
+        )
+        body = next(
+            b for b in cfg.blocks
+            if b.stmts and isinstance(b.stmts[0], ast.Assign)
+        )
+        assert header in body.succs  # loop back edge
+
+    def test_try_body_edges_into_handler(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(x):\n"
+                "    try:\n"
+                "        y = risky(x)\n"
+                "    except ValueError:\n"
+                "        y = 0\n"
+                "    return y\n"
+            )
+        )
+        body = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Assign) and isinstance(s.value, ast.Call)
+                   for s in b.stmts)
+        )
+        handler = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Assign) and isinstance(s.value, ast.Constant)
+                   for s in b.stmts)
+        )
+        assert handler in body.succs
+
+    def test_reaching_definitions_merge_at_join(self):
+        cfg = build_cfg(
+            func_of(
+                "def f(x):\n"
+                "    if x:\n"
+                "        y = 1\n"
+                "    else:\n"
+                "        y = 2\n"
+                "    return y\n"
+            )
+        )
+        reaching = reaching_definitions(cfg)
+        return_block = next(
+            b for b in cfg.blocks
+            if b.stmts and isinstance(b.stmts[-1], ast.Return)
+        )
+        lines = {line for name, line in reaching[return_block] if name == "y"}
+        assert len(lines) == 2
+
+
+# ----------------------------------------------------------------------
+# Interval lattice
+# ----------------------------------------------------------------------
+class TestIntervalLattice:
+    def test_join_and_meet(self):
+        a, b = Interval(0, 3), Interval(2, 10)
+        assert (a.join(b).lo, a.join(b).hi) == (0, 10)
+        assert (a.meet(b).lo, a.meet(b).hi) == (2, 3)
+        assert Interval(0, 1).meet(Interval(5, 6)).empty
+
+    def test_widen_blows_unstable_sides(self):
+        widened = Interval(0, 3).widen(Interval(0, 4))
+        assert (widened.lo, widened.hi) == (0, None)
+        stable = Interval(0, 3).widen(Interval(1, 3))
+        assert (stable.lo, stable.hi) == (0, 3)
+
+    def test_mask_bounds_top(self):
+        masked = Interval.top().bitand(Interval.const(0xFFFF))
+        assert (masked.lo, masked.hi) == (0, 0xFFFF)
+
+    def test_mod_and_rshift(self):
+        assert Interval(0, 100).mod(Interval.const(8)).hi == 7
+        assert Interval(0, 255).rshift(Interval.const(4)).hi == 15
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert not Interval(0, 10).contains(Interval(2, 11))
+        assert Interval(0, 10).contains(Interval.bottom())
+
+
+class TestEnv:
+    def test_default_values_dropped(self):
+        env: Env[int] = Env(0)
+        env.set("x", 5)
+        env.set("y", 0)
+        assert env.get("x") == 5 and env.get("y") == 0
+        assert "y" not in env.bindings
+
+    def test_pointwise_join(self):
+        a: Env[Interval] = Env(Interval.top(), {"x": Interval(0, 1)})
+        b: Env[Interval] = Env(Interval.top(), {"x": Interval(5, 9)})
+        joined = a.join(b, lambda p, q: p.join(q))
+        assert (joined.get("x").lo, joined.get("x").hi) == (0, 9)
+
+    def test_key_helpers(self):
+        assert field_key("spec") == "self.spec"
+        assert element_key("self.tables") == "self.tables[*]"
+        assert element_key("self.tables[*]") == "self.tables[*]"
+
+
+# ----------------------------------------------------------------------
+# Interval analyzer over functions
+# ----------------------------------------------------------------------
+def stores_of(code: str, bounds: dict[str, Interval], constants=None):
+    func = func_of(code)
+    events = []
+    analyzer = IntervalAnalyzer(
+        constants=constants or {},
+        field_bounds=bounds,
+        aliases=IntervalAnalyzer.collect_aliases(func),
+    )
+    analyzer.on_store = events.append
+    analyzer.run(func)
+    return {event.key: event.value for event in events}
+
+
+class TestIntervalAnalyzer:
+    def test_masked_store_is_finite(self):
+        values = stores_of(
+            "def f(self, pc):\n    self.sig = pc & 0xFFFF\n",
+            {"self.sig": Interval(0, None)},
+        )
+        assert (values["self.sig"].lo, values["self.sig"].hi) == (0, 0xFFFF)
+
+    def test_aliased_row_store_hits_element_summary(self):
+        values = stores_of(
+            "def f(self, i, w, pc):\n"
+            "    row = self._tags[i]\n"
+            "    row[w] = pc & 0x7\n",
+            {"self._tags[*]": Interval(0, None)},
+        )
+        assert values["self._tags[*]"].hi == 7
+
+    def test_guard_refinement_narrows_branch(self):
+        values = stores_of(
+            "def f(self, x):\n"
+            "    x = x & 0x7\n"
+            "    if x < 4:\n"
+            "        self.low = x\n",
+            {"self.low": Interval(0, None)},
+        )
+        assert (values["self.low"].lo, values["self.low"].hi) == (0, 3)
+
+    def test_saturating_increment_idiom(self):
+        values = stores_of(
+            "def f(self, i):\n"
+            "    counter = self.tables[i]\n"
+            "    if counter < 3:\n"
+            "        self.tables[i] = counter + 1\n",
+            {"self.tables[*]": Interval(0, 3)},
+        )
+        assert values["self.tables[*]"].hi == 3
+
+    def test_constant_resolution_through_attribute(self):
+        values = stores_of(
+            "def f(self, pc):\n    self.sig = pc & self.config.sig_mask\n",
+            {"self.sig": Interval(0, None)},
+            constants={"self.config.sig_mask": 0xFFF},
+        )
+        assert values["self.sig"].hi == 0xFFF
+
+    def test_widening_terminates_unbounded_loop(self):
+        values = stores_of(
+            "def f(self):\n"
+            "    while True:\n"
+            "        self.ticks = self.ticks + 1\n",
+            {"self.ticks": Interval(0, None)},
+        )
+        assert values["self.ticks"].hi is None  # widened, not diverged
+
+
+# ----------------------------------------------------------------------
+# Effect harvesting
+# ----------------------------------------------------------------------
+class TestEffects:
+    def harvest(self, code: str):
+        func = func_of(code)
+        handles = bind_file_handles(func)
+        cfg = build_cfg(func)
+        effects = []
+        for block in cfg.reverse_postorder():
+            for stmt in block.stmts:
+                effects.extend(harvest_effects(stmt, handles))
+        return [(effect.kind, effect.target) for effect in effects]
+
+    def test_open_write_fsync_replace_protocol(self):
+        effects = self.harvest(
+            "def f(tmp, final):\n"
+            "    with open(tmp, 'w') as h:\n"
+            "        h.write('x')\n"
+            "        h.flush()\n"
+            "        os.fsync(h.fileno())\n"
+            "    os.replace(tmp, final)\n"
+        )
+        assert ("write", "tmp") in effects
+        assert ("flush", "tmp") in effects
+        assert ("fsync", "tmp") in effects
+        assert ("replace", "tmp") in effects
+
+    def test_path_write_text_keys_on_path(self):
+        effects = self.harvest(
+            "def f(tmp, final):\n"
+            "    tmp.write_text('x')\n"
+            "    tmp.replace(final)\n"
+        )
+        assert effects == [("write", "tmp"), ("replace", "tmp")]
+
+    def test_journal_cache_lease_vocabulary(self):
+        effects = self.harvest(
+            "def f(self, key, value, cell):\n"
+            "    self.journal.append('claimed', cell)\n"
+            "    self.cache.put(key, value)\n"
+            "    lease = self.leases.claim(cell)\n"
+            "    self.leases.release(cell)\n"
+            "    self.leases.release_all()\n"
+        )
+        kinds = [kind for kind, _ in effects]
+        assert kinds == [
+            "journal_append",
+            "cache_put",
+            "lease_acquire",
+            "lease_release",
+            "lease_release_all",
+        ]
+
+    def test_nested_function_bodies_not_harvested(self):
+        effects = self.harvest(
+            "def f(self):\n"
+            "    def sink(key, value):\n"
+            "        self.cache.put(key, value)\n"
+            "    return sink\n"
+        )
+        assert effects == []
+
+    def test_self_call_hook(self):
+        effects = self.harvest("def f(self, cell):\n    self._claim(cell)\n")
+        assert effects == [("self_call", "_claim")]

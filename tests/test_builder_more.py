@@ -78,7 +78,7 @@ class TestLayoutInvariants:
         program = build_program(spec_with(code_footprint_bytes=8 * 1024), seed=seed)
         lowered = program.layout()
         pcs = lowered.sorted_pcs
-        assert all(a < b for a, b in zip(pcs, pcs[1:]))
+        assert all(a < b for a, b in zip(pcs, pcs[1:], strict=False))
         assert all(pc % 4 == 0 for pc in pcs)
 
     @pytest.mark.parametrize("seed", range(6))
@@ -97,5 +97,5 @@ class TestLayoutInvariants:
         spans = sorted(
             (f.entry_address, f.return_pc) for f in program.functions
         )
-        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:], strict=False):
             assert end_a < start_b

@@ -15,7 +15,7 @@ class TestAdaptation:
         cache = SetAssociativeCache(geometry, policy)
         # LRU-friendly: small working set per set, frequently reused.
         stride = 64 * 64
-        for round_index in range(60):
+        for _round_index in range(60):
             for set_index in range(64):
                 for block in range(3):  # 3-deep working set in 4 ways
                     cache.access(set_index * 64 + block * stride)
@@ -30,7 +30,7 @@ class TestAdaptation:
         geometry = CacheGeometry(num_sets=64, associativity=4, block_size=64)
         cache = SetAssociativeCache(geometry, policy)
         stride = 64 * 64
-        for round_index in range(60):
+        for _round_index in range(60):
             for set_index in range(64):
                 for block in range(5):  # 5 blocks cycling in 4 ways
                     cache.access(set_index * 64 + block * stride)

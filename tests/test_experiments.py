@@ -92,7 +92,7 @@ class TestFigures:
     def test_fig3_scurve(self, tiny_grid):
         curve = figures.fig3_icache_scurve(tiny_grid)
         assert curve.order == tuple(sorted(
-            curve.order, key=lambda w: dict(zip(curve.order, curve.series["lru"]))[w]
+            curve.order, key=lambda w: dict(zip(curve.order, curve.series["lru"], strict=True))[w]
         ))
         assert set(curve.series) == {"lru", "random", "ghrp"}
 

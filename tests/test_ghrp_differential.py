@@ -42,7 +42,7 @@ class ReferenceGHRPCache:
         ways = self.sets[set_index]
         self.clock += 1
 
-        for way, entry in enumerate(ways):
+        for _way, entry in enumerate(ways):
             if entry is not None and entry["tag"] == tag:
                 # Hit: train old signature live, refresh metadata.
                 self.predictor.train(entry["sig"], is_dead=False)

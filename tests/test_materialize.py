@@ -26,13 +26,13 @@ class TestMaterialize:
         entries = materialize_suite(tiny_suite, tmp_path)
         assert len(entries) == 2
         assert (tmp_path / "manifest.json").exists()
-        for workload, entry in zip(tiny_suite, entries):
+        for workload, entry in zip(tiny_suite, entries, strict=True):
             assert entry.path(tmp_path).exists()
             assert entry.branch_count == workload.spec.branch_budget
 
     def test_roundtrip_records_identical(self, tmp_path, tiny_suite):
         entries = materialize_suite(tiny_suite, tmp_path)
-        for workload, entry in zip(tiny_suite, entries):
+        for workload, entry in zip(tiny_suite, entries, strict=True):
             replayed = list(materialized_records(tmp_path, entry))
             assert replayed == list(workload.records())
 

@@ -13,7 +13,7 @@ from repro.stats.winloss import classify_win_loss
 def table_of(rows: dict[str, list[float]], workloads: list[str]) -> MPKITable:
     table = MPKITable()
     for policy, values in rows.items():
-        for workload, value in zip(workloads, values):
+        for workload, value in zip(workloads, values, strict=True):
             table.set(policy, workload, value)
     return table
 
@@ -36,7 +36,7 @@ class TestCIAgainstScipy:
         result = relative_difference_ci(table, "x")
 
         diffs = np.array(
-            [(p - r) / r for r, p in zip(reference_values, policy_values)]
+            [(p - r) / r for r, p in zip(reference_values, policy_values, strict=True)]
         )
         if np.std(diffs, ddof=1) == 0:
             assert result.ci_low == pytest.approx(result.ci_high)

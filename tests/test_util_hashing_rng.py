@@ -41,7 +41,7 @@ class TestSkewedIndices:
         for sig in range(trials):
             a = skewed_indices(sig, 3, 12)
             b = skewed_indices(sig + 1, 3, 12)
-            same = sum(x == y for x, y in zip(a, b))
+            same = sum(x == y for x, y in zip(a, b, strict=True))
             if same >= 2:
                 double_collisions += 1
         assert double_collisions < trials * 0.01
