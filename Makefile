@@ -37,7 +37,7 @@ check:
 # Flow tier only: CFG + abstract-interpretation rules (flow-*).  Slower
 # than the syntactic tier; split out so editors can run it on demand.
 check-flow:
-	PYTHONPATH=src $(PYTHON) -m repro.cli check src/repro --engine flow
+	PYTHONPATH=src $(PYTHON) -m repro.cli check src/repro --tier flow
 
 test-fast:
 	$(PYTHON) -m pytest tests/ --ignore=tests/test_integration.py
@@ -63,9 +63,9 @@ bench-smoke:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/test_kernel_throughput.py -q -s
 
 # Compare the newest BENCH_HISTORY.jsonl entry to the committed baseline
-# (exit 1 past tolerance).  CI runs this non-gating with annotations.
+# (exit 1 past 15% throughput regression).  CI runs this gating.
 bench-diff:
-	PYTHONPATH=src $(PYTHON) -m repro.cli bench-diff --annotate github
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-diff --tolerance 0.15 --annotate github
 
 figures: bench
 	@echo "rendered figures: benchmarks/results/figures.txt (+ .pgm/.svg)"

@@ -71,5 +71,26 @@ __all__ = [
     "Workload",
     "make_suite",
     "make_workload",
+    "BatchKernel",
+    "TokenCache",
+    "TraceTokens",
+    "batch_kernel",
+    "tokenize_trace",
     "__version__",
 ]
+
+#: Facade names resolved lazily through :mod:`repro.api` (the kernel
+#: package behind them is a deferred import there too).
+_LAZY_EXPORTS = frozenset(
+    {"BatchKernel", "TokenCache", "TraceTokens", "batch_kernel", "tokenize_trace"}
+)
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        from repro import api
+
+        value = getattr(api, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

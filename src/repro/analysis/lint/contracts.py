@@ -24,16 +24,18 @@ Two invariants keep that true:
   torn result store silently loses checkpointed cells.  The one
   sanctioned bare-open site (the store's own atomic-save internals) is
   suppressed where it happens, with the reason.
-- ``contract-fast-path`` (project rule): a policy that opts into the
-  batched engine (``supports_fast_path``) must have a kernel registered
-  for its *exact* class, and must still pass the reference-path ABC
-  contract — the fast path falls back to (and is differentially tested
-  against) the reference engine, so opting in never excuses breaking it.
-  Conversely a kernel registered for a class that does not opt in is
-  unreachable.  Every registered kernel must also implement the
-  ``state_digest()`` sentinel hook: runtime verification, crash capture,
-  and repro bundles all read kernel state through it, so a kernel without
-  it turns the first divergence into an opaque ``NotImplementedError``.
+- ``contract-fast-path`` (project rule): registering a
+  :class:`~repro.kernel.base.BatchKernel` with ``@batch_kernel`` *is* the
+  fast-path opt-in, so every registry entry must be coherent: the kernel's
+  ``policy_class`` back-reference must match the registry key, the policy
+  must still pass the reference-path ABC contract (the fast path falls
+  back to — and is differentially tested against — the reference engine,
+  so opting in never excuses breaking it), ``tokenize_requirements()``
+  must name only streams the tokenizer produces, and the kernel must
+  implement the ``state_digest()`` sentinel hook: runtime verification,
+  crash capture, and repro bundles all read kernel state through it, so
+  a kernel without it turns the first divergence into an opaque
+  ``NotImplementedError``.
 """
 
 from __future__ import annotations
@@ -156,56 +158,82 @@ class PolicyAbcRule(ProjectRule):
 class FastPathRule(ProjectRule):
     id = "contract-fast-path"
     description = (
-        "fast-path policies (supports_fast_path) must register a kernel "
-        "for their exact class and pass the reference-path ABC contract"
+        "every @batch_kernel registry entry must be coherent: policy_class "
+        "matches the key, the policy passes the reference-path ABC "
+        "contract, tokenize_requirements() names real token streams, and "
+        "the kernel implements state_digest()"
     )
 
     def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
         from repro.cache.policy_api import ReplacementPolicy
-        from repro.kernel.base import CacheKernel, registered_kernels
-        from repro.policies import registry
+        from repro.kernel.base import BatchKernel, CacheKernel, registered_batch_kernels
+        from repro.kernel.tokenizer import TOKEN_STREAMS
 
-        kernels = registered_kernels()
         abc_rule = PolicyAbcRule()
-        for name in registry.available_policies():
-            factory = registry._REGISTRY[name]
-            if isinstance(factory, type):
-                cls = factory
-            else:
-                try:
-                    cls = type(factory())
-                except Exception:  # noqa: BLE001 - contract-policy-abc reports it
-                    continue
-            if not getattr(cls, "supports_fast_path", False):
-                continue
-            if cls not in kernels:
-                yield replace(
-                    PolicyAbcRule._finding_for(
-                        cls,
-                        f"policy {name!r} ({cls.__name__}) sets "
-                        "supports_fast_path but no kernel is registered for "
-                        "its exact class; build_frontend would silently fall "
-                        "back to the reference engine",
-                    ),
-                    rule=self.id,
-                )
-            # Opting into the fast path never excuses the reference
-            # contract: the fall-back and the differential harness both
-            # drive the policy through the reference engine.
-            for finding in abc_rule._check_signatures(name, cls, ReplacementPolicy):
-                yield replace(finding, rule=self.id)
-        for policy_cls, kernel_cls in kernels.items():
-            if not getattr(policy_cls, "supports_fast_path", False):
+        for policy_cls, kernel_cls in registered_batch_kernels().items():
+            if kernel_cls.policy_class is not policy_cls:
+                declared = getattr(kernel_cls.policy_class, "__name__", None)
                 yield replace(
                     PolicyAbcRule._finding_for(
                         kernel_cls,
                         f"kernel {kernel_cls.__name__} is registered for "
-                        f"{policy_cls.__name__}, which does not set "
-                        "supports_fast_path; the kernel is unreachable",
+                        f"{policy_cls.__name__} but declares policy_class="
+                        f"{declared}; the registry key and the kernel's "
+                        "back-reference must agree",
                     ),
                     rule=self.id,
                 )
-            if kernel_cls.state_digest is CacheKernel.state_digest:
+            if not (
+                isinstance(policy_cls, type)
+                and issubclass(policy_cls, ReplacementPolicy)
+            ):
+                yield replace(
+                    PolicyAbcRule._finding_for(
+                        kernel_cls,
+                        f"kernel {kernel_cls.__name__} is registered for "
+                        f"{policy_cls!r}, which is not a ReplacementPolicy "
+                        "class; the batch engine aliases the reference "
+                        "policy's state and cannot drive anything else",
+                    ),
+                    rule=self.id,
+                )
+                continue
+            # Registering a kernel never excuses the reference contract:
+            # the fall-back and the differential harness both drive the
+            # policy through the reference engine.
+            name = policy_cls.name or policy_cls.__name__
+            for finding in abc_rule._check_signatures(
+                name, policy_cls, ReplacementPolicy
+            ):
+                yield replace(finding, rule=self.id)
+            try:
+                streams = kernel_cls.tokenize_requirements()
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                yield replace(
+                    PolicyAbcRule._finding_for(
+                        kernel_cls,
+                        f"kernel {kernel_cls.__name__}.tokenize_requirements() "
+                        f"raised {error!r}; the engine calls it before "
+                        "tokenizing every window",
+                    ),
+                    rule=self.id,
+                )
+            else:
+                unknown = sorted(set(streams) - TOKEN_STREAMS)
+                if unknown:
+                    yield replace(
+                        PolicyAbcRule._finding_for(
+                            kernel_cls,
+                            f"kernel {kernel_cls.__name__} declares token "
+                            f"streams {unknown} that the tokenizer does not "
+                            f"produce (known: {sorted(TOKEN_STREAMS)})",
+                        ),
+                        rule=self.id,
+                    )
+            if kernel_cls.state_digest in (
+                CacheKernel.state_digest,
+                BatchKernel.state_digest,
+            ):
                 yield replace(
                     PolicyAbcRule._finding_for(
                         kernel_cls,

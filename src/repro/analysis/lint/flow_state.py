@@ -16,11 +16,19 @@ without tripping a sentinel.  These rules close the loop structurally:
   ``sync()`` (resolved through the base-class chain, following
   ``super().sync()``), keeping sync idempotent.
 
-Exemption: fields assigned a *bare constructor parameter* in
-``__init__`` (``self.cache = cache``) are references to reference-side
-objects — their internals are the reference engine's state, not the
-kernel's, so mutations through them (``self.cache.now += ...``) are not
-digest material.
+Exemptions:
+
+- fields assigned a *bare constructor parameter* in ``__init__``
+  (``self.cache = cache``) are references to reference-side objects —
+  their internals are the reference engine's state, not the kernel's, so
+  mutations through them (``self.cache.now += ...``) are not digest
+  material.
+- window-binding machinery (:data:`WINDOW_BINDING_FIELDS`): the chunked
+  batch engine rebinds executor closures and derived token-view caches
+  at every ``begin_window()`` and tears them down at every barrier.
+  None of it is kernel *state* — simulation state buffered inside an
+  open window's closures is flushed into digest-visible fields by
+  ``sync()`` — so the digest rightly never reads it.
 """
 
 from __future__ import annotations
@@ -36,7 +44,12 @@ from repro.analysis.lint.core import (
     register_rule,
 )
 
-__all__ = ["MUTATOR_METHODS", "class_chain", "project_class_map"]
+__all__ = [
+    "MUTATOR_METHODS",
+    "WINDOW_BINDING_FIELDS",
+    "class_chain",
+    "project_class_map",
+]
 
 #: Method names that mutate their receiver in place.
 MUTATOR_METHODS = frozenset(
@@ -59,6 +72,20 @@ MUTATOR_METHODS = frozenset(
 
 _DIGEST_NAMES = ("state_digest", "digest")
 _DELTA_PREFIXES = ("_d_", "d_", "delta_", "_delta_")
+
+#: Per-window binding machinery of the chunked batch engine — executor
+#: closures bound by ``begin_window()`` and derived (content-addressed)
+#: token-view caches.  Rebuilt from tokens at every window bind and
+#: cleared at barriers; never simulation state, so never digest material.
+WINDOW_BINDING_FIELDS = frozenset(
+    {
+        "_window_span",
+        "_window_flush",
+        "_fused_window",
+        "sig_columns",
+        "_sig_columns",
+    }
+)
 
 
 # ----------------------------------------------------------------------
@@ -297,7 +324,7 @@ class DigestCoverageRule(Rule):
             chain = class_chain(node, class_map)
             covered: set[str] = set()
             _digest_reads(chain, digest, 0, covered, set())
-            exempt = _bare_param_fields(node)
+            exempt = _bare_param_fields(node) | WINDOW_BINDING_FIELDS
             # sync() is the designated kernel->reference flush point: its
             # writes land on reference-side aggregates by design, and its
             # delta resets are audited by flow-delta-sync.

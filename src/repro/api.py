@@ -57,7 +57,33 @@ __all__ = [
     # and read SimulationResult.telemetry (a TelemetryRun) back.
     "TelemetryConfig",
     "TelemetryRun",
+    # The batch-kernel API: the BatchKernel protocol and its @batch_kernel
+    # registration (the fast-path opt-in), plus trace pre-tokenization —
+    # tokenize once with tokenize_trace (or a TokenCache), then pass the
+    # TraceTokens wherever records go to amortize the lowering across runs.
+    "BatchKernel",
+    "TokenCache",
+    "TraceTokens",
+    "batch_kernel",
+    "tokenize_trace",
 ]
+
+# The kernel package stays a lazy import (it is optional-numpy machinery
+# the facade's import path should not pay for), so its exports resolve on
+# first attribute access rather than at module import.
+_KERNEL_EXPORTS = frozenset(
+    {"BatchKernel", "TokenCache", "TraceTokens", "batch_kernel", "tokenize_trace"}
+)
+
+
+def __getattr__(name: str):
+    if name in _KERNEL_EXPORTS:
+        import repro.kernel as kernel
+
+        value = getattr(kernel, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)

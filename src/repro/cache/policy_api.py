@@ -56,15 +56,15 @@ class ReplacementPolicy(abc.ABC):
     Subclasses must set the class attribute ``name`` (the registry key used
     by the experiment harness and CLI).
 
-    ``supports_fast_path`` opts the policy into the batched simulation
-    kernel (:mod:`repro.kernel`): a policy that sets it True promises that
-    a kernel registered for its exact class replays these event callbacks
-    bit-identically on flattened state.  Policies without a kernel keep
-    the default False and transparently run on the reference engine.
+    The batched simulation kernel (:mod:`repro.kernel`) is opted into by
+    registering a :class:`~repro.kernel.base.BatchKernel` for the policy's
+    exact class with the ``@batch_kernel`` decorator — registration is the
+    promise that the kernel replays these event callbacks bit-identically
+    on flattened state.  Policies without a registered kernel transparently
+    run on the reference engine.
     """
 
     name: ClassVar[str] = ""
-    supports_fast_path: ClassVar[bool] = False
 
     def __init__(self) -> None:
         self._geometry: "CacheGeometry | None" = None

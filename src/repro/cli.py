@@ -606,12 +606,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
     rules = None
     if args.rules:
         rules = [rule_id for spec in args.rules for rule_id in spec.split(",") if rule_id]
-    if args.engine != "all":
+    tier_choice = args.tier
+    if args.tier_legacy is not None:
+        import warnings
+
+        if tier_choice is not None:
+            print("repro-sim check: pass --tier or --engine, not both")
+            return 2
+        warnings.warn(
+            "repro-sim check --engine is deprecated; use --tier "
+            "(same choices: syntax, flow, all)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        tier_choice = args.tier_legacy
+    if tier_choice is None:
+        tier_choice = "all"
+    if tier_choice != "all":
         # The flow tier is every flow-* rule; the syntax tier is the rest.
         tier = [
             rule.id
             for rule in all_rules()
-            if rule.id.startswith("flow-") == (args.engine == "flow")
+            if rule.id.startswith("flow-") == (tier_choice == "flow")
         ]
         rules = [r for r in rules if r in tier] if rules is not None else tier
     try:
@@ -924,10 +940,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--rules", action="append", default=[],
                        metavar="RULE[,RULE...]",
                        help="run only these rule ids (repeatable)")
-    check.add_argument("--engine", choices=["syntax", "flow", "all"],
-                       default="all",
+    check.add_argument("--tier", choices=["syntax", "flow", "all"],
+                       default=None,
                        help="rule tier: 'syntax' pattern rules, 'flow' "
                             "dataflow proofs (flow-*), or both (default)")
+    # Retired spelling ("tier" never selected a simulation engine); kept
+    # one release as a hidden alias that warns.
+    check.add_argument("--engine", choices=["syntax", "flow", "all"],
+                       default=None, dest="tier_legacy",
+                       help=argparse.SUPPRESS)
     check.add_argument("--baseline", metavar="FILE", default=None,
                        help="subtract the accepted findings in FILE; only "
                             "new findings gate the exit code")

@@ -18,7 +18,6 @@ wrong-path flag and see the same access stream.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -200,25 +199,10 @@ class FrontEnd:
         """Simulate ``records``; return post-warm-up and total statistics.
 
         ``options`` is the one supported way to parameterize a run; the
-        ``warmup_instructions``/``max_instructions`` keywords are retained
-        as a deprecated spelling for one release.
+        ``warmup_instructions``/``max_instructions`` keywords remain as a
+        convenience spelling for the two most common fields.
         """
-        if isinstance(options, int):
-            # Legacy positional call: run(records, warmup_instructions).
-            warnings.warn(
-                "FrontEnd.run(records, warmup) is deprecated; pass "
-                "options=RunOptions(warmup_instructions=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            options = RunOptions(
-                warmup_instructions=options,
-                max_instructions=max_instructions,
-            )
-        else:
-            options = resolve_run_options(
-                options, warmup_instructions, max_instructions
-            )
+        options = resolve_run_options(options, warmup_instructions, max_instructions)
         self._setup_telemetry(options)
         rs = _RunState(
             warmup_boundary=options.warmup_instructions,
@@ -374,20 +358,6 @@ class FrontEnd:
             telemetry=telemetry,
         )
 
-    def run_with_config_warmup(
-        self, records: Iterable[BranchRecord], config: FrontEndConfig, total_instructions_hint: int
-    ) -> SimulationResult:
-        """Deprecated: use ``run(records, RunOptions.from_config_warmup(...))``."""
-        warnings.warn(
-            "FrontEnd.run_with_config_warmup is deprecated; use "
-            "run(records, options=RunOptions.from_config_warmup(config, hint))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run(
-            records, RunOptions.from_config_warmup(config, total_instructions_hint)
-        )
-
 
 def build_policies(
     config: FrontEndConfig,
@@ -425,19 +395,6 @@ def build_policies(
     icache_policy = build(icache_name, for_btb=False, icache_policy=None)
     btb_policy = build(btb_name, for_btb=True, icache_policy=icache_policy)
     return icache_policy, btb_policy, ghrp
-
-
-def _build_policies(
-    config: FrontEndConfig,
-) -> tuple[ReplacementPolicy, ReplacementPolicy, GHRPPredictor | None]:
-    """Deprecated private alias of :func:`build_policies`."""
-    warnings.warn(
-        "repro.frontend.engine._build_policies is deprecated; use "
-        "build_policies (or repro.api.build_policies)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return build_policies(config)
 
 
 def build_frontend(

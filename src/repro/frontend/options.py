@@ -165,6 +165,12 @@ def resolve_run_options(
     signatures stay in lockstep.
     """
     if options is not None:
+        if not isinstance(options, RunOptions):
+            raise TypeError(
+                f"options must be a RunOptions, got {type(options).__name__}; "
+                "the positional-warmup spelling run(records, N) is retired — "
+                "pass RunOptions(warmup_instructions=N)"
+            )
         if warmup_instructions is not None or max_instructions is not None:
             raise TypeError(
                 "pass either options=RunOptions(...) or the legacy "

@@ -4,10 +4,14 @@ This package is a *semantic twin* of the reference simulation stack
 (:mod:`repro.cache.set_assoc` + :mod:`repro.policies` +
 :mod:`repro.frontend.engine`), flattened for throughput:
 
+- the trace pre-tokenizer (:mod:`repro.kernel.tokenizer`) lowers each
+  reconstructed fetch stream into flat struct-of-arrays token streams,
+  cached per ``(workload, config)`` digest;
 - one :class:`~repro.kernel.base.CacheKernel` fuses the cache engine and
   its replacement policy into a single ``access(block, pc)`` call — no
   ``AccessContext``/``AccessResult`` allocation, no virtual dispatch per
-  policy event;
+  policy event — and may additionally provide a *window executor* that
+  replays whole chunks of the token stream per call;
 - per-set metadata (tags, signatures, prediction bits, recency) is
   **aliased**, not copied: kernels mutate the reference objects' own state
   lists in place, so mid-run introspection (``probe``, telemetry) and
@@ -16,13 +20,14 @@ This package is a *semantic twin* of the reference simulation stack
   :class:`repro.util.hashing.SkewedIndexTable`, shared with the reference
   :class:`~repro.core.tables.PredictionTableBank`;
 - scalar state (path histories, statistic counters, telemetry) is kept in
-  kernel-local integers and flushed back at synchronization points (the
-  warm-up boundary and end of run).
+  kernel-local integers and flushed back at synchronization points (chunk
+  barriers, the warm-up boundary, and end of run).
 
-Every kernel is registered against the *exact* policy class it replays
-(:func:`~repro.kernel.base.register_kernel`); policies without a kernel —
-or with ``supports_fast_path = False`` — transparently fall back to the
-reference engine.  The differential suite
+Kernels implement the declarative :class:`~repro.kernel.base.BatchKernel`
+protocol and register against the *exact* policy class they replay with
+the :func:`~repro.kernel.base.batch_kernel` decorator — registration is
+the fast-path opt-in; policies without a registered kernel transparently
+fall back to the reference engine.  The differential suite
 (``tests/test_kernel_differential.py``) pins the two paths bit-identical:
 same hit/miss/eviction/bypass counts, same predictor-table contents, same
 per-block metadata.
@@ -31,25 +36,39 @@ per-block metadata.
 from __future__ import annotations
 
 from repro.kernel.base import (
+    BatchKernel,
     BTBKernel,
     CacheKernel,
     KernelContext,
-    kernel_class_for,
-    register_kernel,
-    registered_kernels,
+    WindowPlan,
+    batch_kernel,
+    batch_kernel_for,
+    registered_batch_kernels,
 )
 from repro.kernel.engine import FastFrontEnd, fast_path_unsupported_reason
+from repro.kernel.tokenizer import (
+    HAVE_NUMPY,
+    TokenCache,
+    TraceTokens,
+    tokenize_trace,
+)
 
 # Importing the kernel modules registers their kernels.
 from repro.kernel import direction, ghrp, lru, sdbp  # noqa: E402,F401  (registration side effects)
 
 __all__ = [
+    "HAVE_NUMPY",
+    "BatchKernel",
     "BTBKernel",
     "CacheKernel",
     "FastFrontEnd",
     "KernelContext",
+    "TokenCache",
+    "TraceTokens",
+    "WindowPlan",
+    "batch_kernel",
+    "batch_kernel_for",
     "fast_path_unsupported_reason",
-    "kernel_class_for",
-    "register_kernel",
-    "registered_kernels",
+    "registered_batch_kernels",
+    "tokenize_trace",
 ]

@@ -1,10 +1,29 @@
-"""Kernel registry and the base cache/BTB kernels.
+"""The ``BatchKernel`` protocol, registry, and base cache/BTB kernels.
 
 A *kernel* replays one replacement policy's event protocol (hit / bypass /
-victim / evict / fill) against the reference cache's own state arrays,
-inlined into a single ``access`` call.  Registration is by **exact** policy
-class: a subclass with different semantics (e.g. MRU subclassing LRU) must
-register its own kernel or fall back to the reference engine.
+victim / evict / fill) against the reference cache's own state arrays.
+Kernels implement the declarative :class:`BatchKernel` protocol:
+
+- :meth:`~BatchKernel.tokenize_requirements` names the token streams the
+  kernel consumes (see :mod:`repro.kernel.tokenizer`);
+- :meth:`~BatchKernel.begin_window` binds the kernel to one tokenized
+  window and returns the chunk executor :meth:`~BatchKernel.run_chunk`
+  drives;
+- :meth:`~BatchKernel.sync` flushes delta counters and window-local
+  scalar state back into the reference objects (idempotent, called at
+  every chunk barrier);
+- :meth:`~BatchKernel.state_digest` exports canonical state for the
+  sentinel layer (safe mid-update).
+
+Registering a kernel with :func:`batch_kernel` **is** the fast-path
+opt-in: there is no separate ``supports_fast_path`` flag.  Registration
+is by **exact** policy class: a subclass with different semantics (e.g.
+MRU subclassing LRU) must register its own kernel or fall back to the
+reference engine.
+
+Kernels also keep a scalar ``access(block, pc)`` path — the default
+chunk executor simply loops it, the sentinel's single-record bisection
+windows use it, and fault injection wraps it.
 """
 
 from __future__ import annotations
@@ -19,17 +38,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.policy_api import ReplacementPolicy
     from repro.cache.set_assoc import SetAssociativeCache
     from repro.core.ghrp import GHRPPredictor
+    from repro.kernel.tokenizer import TraceTokens
 
 __all__ = [
     "HIT",
     "FILL",
     "BYPASS",
+    "BatchKernel",
+    "WindowPlan",
     "CacheKernel",
     "BTBKernel",
     "KernelContext",
-    "register_kernel",
-    "kernel_class_for",
-    "registered_kernels",
+    "batch_kernel",
+    "batch_kernel_for",
+    "registered_batch_kernels",
 ]
 
 # access() return codes (int compares are cheaper than enum members).
@@ -37,37 +59,117 @@ HIT = 1
 FILL = 0
 BYPASS = -1
 
-_KERNELS: dict[type, type["CacheKernel"]] = {}
+_BATCH_KERNELS: dict[type, type["BatchKernel"]] = {}
 
 
-def register_kernel(policy_cls: type):
-    """Class decorator registering a kernel for one exact policy class."""
+def batch_kernel(policy_cls: type):
+    """Class decorator registering a :class:`BatchKernel` for one exact
+    policy class.  Registration is the *only* fast-path opt-in: a policy
+    with a registered kernel batches; one without runs on the reference
+    engine.
+    """
 
-    def decorate(kernel_cls: type["CacheKernel"]) -> type["CacheKernel"]:
-        if policy_cls in _KERNELS:
+    def decorate(kernel_cls: type["BatchKernel"]) -> type["BatchKernel"]:
+        if policy_cls in _BATCH_KERNELS:
             raise ValueError(
                 f"policy {policy_cls.__name__} already has a kernel "
-                f"({_KERNELS[policy_cls].__name__})"
+                f"({_BATCH_KERNELS[policy_cls].__name__})"
             )
-        _KERNELS[policy_cls] = kernel_cls
+        _BATCH_KERNELS[policy_cls] = kernel_cls
         kernel_cls.policy_class = policy_cls
         return kernel_cls
 
     return decorate
 
 
-def kernel_class_for(policy: "ReplacementPolicy") -> type["CacheKernel"] | None:
+def batch_kernel_for(policy: "ReplacementPolicy") -> type["BatchKernel"] | None:
     """The kernel registered for ``policy``'s exact class, or None.
 
     Deliberately not subclass-aware: a policy subclass may override any
     event callback, which would silently diverge from the parent's kernel.
     """
-    return _KERNELS.get(type(policy))
+    return _BATCH_KERNELS.get(type(policy))
 
 
-def registered_kernels() -> dict[type, type["CacheKernel"]]:
+def registered_batch_kernels() -> dict[type, type["BatchKernel"]]:
     """A copy of the policy-class → kernel-class registry."""
-    return dict(_KERNELS)
+    return dict(_BATCH_KERNELS)
+
+
+class WindowPlan:
+    """Everything a kernel needs to bind to one tokenized window.
+
+    ``stream`` names the token subsequence this kernel executes over
+    (``"icache"`` for the fetch-block stream, ``"btb"`` for taken
+    non-return branches).  ``icache_kernel``/``btb_kernel`` carry the
+    sibling kernels of the same front end so a coupled pair (GHRP
+    Section III-E) can build one fused executor over both structures.
+    """
+
+    __slots__ = ("tokens", "stream", "icache_kernel", "btb_kernel")
+
+    def __init__(
+        self,
+        tokens: "TraceTokens",
+        stream: str,
+        icache_kernel=None,
+        btb_kernel=None,
+    ):
+        self.tokens = tokens
+        self.stream = stream
+        self.icache_kernel = icache_kernel
+        self.btb_kernel = btb_kernel
+
+
+class BatchKernel(abc.ABC):
+    """Declarative protocol every fast-path kernel implements.
+
+    The engine drives a window as::
+
+        span = kernel.begin_window(plan)   # bind token views, build executor
+        span(lo, hi)                       # per chunk (== kernel.run_chunk)
+        kernel.sync()                      # at each barrier
+
+    ``begin_window`` returns the chunk executor directly so the engine's
+    chunk loop can call the bound closure without method dispatch;
+    :meth:`run_chunk` is the equivalent protocol-level entry point.
+    """
+
+    #: Matching reference policy class, set by ``batch_kernel``.
+    policy_class: ClassVar[type | None] = None
+
+    @classmethod
+    def tokenize_requirements(cls) -> frozenset[str]:
+        """Token streams this kernel consumes (names from the tokenizer:
+        ``fetch-stream``, ``btb-stream``, ``cond-stream``)."""
+        return frozenset({"fetch-stream"})
+
+    @abc.abstractmethod
+    def begin_window(self, plan: WindowPlan):
+        """Bind to one tokenized window; return the chunk executor."""
+
+    @abc.abstractmethod
+    def run_chunk(self, lo: int, hi: int) -> None:
+        """Execute this kernel's work for records ``[lo, hi)``.
+
+        Chunks must partition the window in order: each call continues
+        where the previous one stopped (kernels track their own stream
+        cursors).
+        """
+
+    @abc.abstractmethod
+    def sync(self) -> None:
+        """Flush window-local state into the reference objects (idempotent)."""
+
+    @abc.abstractmethod
+    def state_digest(self) -> dict:
+        """Canonical export of the kernel's live state for the sentinel.
+
+        Feeds divergence-bundle manifests and crash capture, and — unlike
+        :meth:`sync` — must be safe to call when the kernel may be
+        mid-update, so it reads without flushing (delta counters may
+        under-report work buffered in an open window).
+        """
 
 
 class KernelContext:
@@ -116,7 +218,7 @@ class KernelContext:
         return False
 
 
-class CacheKernel(abc.ABC):
+class CacheKernel(BatchKernel):
     """Flattened twin of one ``SetAssociativeCache`` + its policy.
 
     ``access(block, pc)`` takes a **block-aligned** address (callers align;
@@ -128,10 +230,11 @@ class CacheKernel(abc.ABC):
     Statistic counters accumulate in kernel-local deltas; :meth:`sync`
     flushes them into the reference ``CacheStats`` and is idempotent, so
     engines may sync mid-run (warm-up boundary) and again at the end.
-    """
 
-    #: Matching reference policy class, set by ``register_kernel``.
-    policy_class: ClassVar[type | None] = None
+    Subclasses plug into batching by overriding :meth:`_make_window`; the
+    default executor loops the scalar ``access`` path, so any registered
+    kernel batches correctly even before it grows a specialized span.
+    """
 
     def __init__(self, cache: "SetAssociativeCache"):
         self.cache = cache
@@ -160,6 +263,11 @@ class CacheKernel(abc.ABC):
         # Raised by the engine while fetching down a mispredicted path;
         # only wrong-path-aware kernels (GHRP) read it.
         self.wrong_path = False
+        # Batch-window bindings (begin_window) and the derived
+        # block-address → way map specialized spans maintain.
+        self._window_span = None
+        self._window_flush = None
+        self._blockmap: dict[int, int] | None = None
 
     @classmethod
     def build(
@@ -175,6 +283,84 @@ class CacheKernel(abc.ABC):
     def reload(self) -> None:
         """Re-capture scalar state from the reference objects (run start)."""
         self.wrong_path = False
+        self._window_span = None
+        self._window_flush = None
+        self._blockmap = None
+
+    # ------------------------------------------------------------------
+    # BatchKernel protocol
+    # ------------------------------------------------------------------
+    def begin_window(self, plan: WindowPlan):
+        """Bind token views for one window; returns the chunk executor."""
+        made = self._make_window(plan)
+        span, flush = made if made is not None else (None, None)
+        if span is None:
+            span = self._generic_window_span(plan)
+            flush = None
+            # The scalar loop does not maintain the block map; drop it so
+            # a later specialized window rebuilds from the live tags.
+            self._blockmap = None
+        self._window_span = span
+        self._window_flush = flush
+        return span
+
+    def run_chunk(self, lo: int, hi: int) -> None:
+        span = self._window_span
+        if span is None:
+            raise RuntimeError(
+                "run_chunk() outside an active window; call begin_window() first"
+            )
+        span(lo, hi)
+
+    def _make_window(self, plan: WindowPlan):
+        """Hook for specialized executors: return ``(span, flush)``.
+
+        ``span(lo, hi)`` executes records ``[lo, hi)``; ``flush()`` (or
+        None) writes closure-buffered deltas back onto the kernel so
+        :meth:`sync` sees them.  Returning None (the default) selects the
+        generic scalar-loop executor.
+        """
+        return None
+
+    def _generic_window_span(self, plan: WindowPlan):
+        """Fallback executor: loop the scalar ``access`` path.
+
+        Looks ``access`` up per chunk (not per window) so a fault wrapper
+        armed mid-run still intercepts every call.
+        """
+        tokens = plan.tokens
+        blocks, pcs, acc_end = tokens.access_view(1 << self._offset_bits)
+        cursor = 0
+
+        def span(lo: int, hi: int) -> None:
+            nonlocal cursor
+            access = self.access
+            end = acc_end[hi - 1] if hi > 0 else 0
+            for i in range(cursor, end):
+                access(blocks[i], pcs[i])
+            cursor = end
+
+        return span
+
+    def begin_btb_window(self, plan: WindowPlan, wrapper: "BTBKernel"):
+        """Fused BTB-stream executor, or None for the wrapper's generic
+        per-access loop.  Specialized kernels override this to handle the
+        target array inline (see :class:`BTBKernel.begin_window`)."""
+        return None
+
+    def _build_blockmap(self) -> dict[int, int]:
+        """block address → way for every valid line (specialized spans
+        replace the per-access ``row.index(tag)`` probe with one dict
+        get, maintaining the map incrementally on fill/evict)."""
+        tag_shift = self._tag_shift
+        offset_bits = self._offset_bits
+        blockmap: dict[int, int] = {}
+        for set_index, row in enumerate(self._tags):
+            base = set_index << offset_bits
+            for way, tag in enumerate(row):
+                if tag != _INVALID_TAG:
+                    blockmap[(tag << tag_shift) | base] = way
+        return blockmap
 
     def state_digest(self) -> dict:
         """Canonical export of the kernel's live state for the sentinel.
@@ -205,10 +391,16 @@ class CacheKernel(abc.ABC):
             "set_index": self.set_index,
             "way": self.way,
             "wrong_path": self.wrong_path,
+            "blockmap": (
+                sorted(self._blockmap.items()) if self._blockmap is not None else None
+            ),
         }
 
     def sync(self) -> None:
         """Flush statistic deltas into the reference cache's counters."""
+        flush = self._window_flush
+        if flush is not None:
+            flush()
         stats = self.cache.stats
         hits = self._d_hits
         misses = self._d_misses
@@ -240,7 +432,7 @@ class CacheKernel(abc.ABC):
         return (row[way] << self._tag_shift) | (set_index << self._offset_bits)
 
 
-class BTBKernel:
+class BTBKernel(BatchKernel):
     """Fast-path twin of :class:`~repro.btb.btb.BranchTargetBuffer`.
 
     Wraps the inner cache kernel (which replays the BTB's replacement
@@ -248,9 +440,24 @@ class BTBKernel:
     accounting.  ``access`` returns True exactly when the reference
     ``BTBResult`` would have ``hit and not target_correct`` — the only bit
     the front end consumes.
+
+    For batching, the wrapper asks the inner kernel for a *fused*
+    BTB-stream executor (:meth:`CacheKernel.begin_btb_window`) so the
+    target handling runs inline with the replacement decision; kernels
+    without one fall back to the wrapper's scalar ``access`` loop.
     """
 
-    __slots__ = ("btb", "inner", "_targets", "_block_mask", "_d_target_mispredictions", "obs", "_obs_on")
+    __slots__ = (
+        "btb",
+        "inner",
+        "_targets",
+        "_block_mask",
+        "_d_target_mispredictions",
+        "obs",
+        "_obs_on",
+        "_window_span",
+        "_window_flush",
+    )
 
     def __init__(self, btb: "BranchTargetBuffer", inner: CacheKernel):
         self.btb = btb
@@ -260,6 +467,12 @@ class BTBKernel:
         self._d_target_mispredictions = 0
         self.obs = btb.obs
         self._obs_on = btb.obs.enabled
+        self._window_span = None
+        self._window_flush = None
+
+    @classmethod
+    def tokenize_requirements(cls) -> frozenset[str]:
+        return frozenset({"btb-stream"})
 
     def access(self, pc: int, target: int) -> bool:
         inner = self.inner
@@ -283,6 +496,42 @@ class BTBKernel:
 
     def reload(self) -> None:
         self.inner.reload()
+        self._window_span = None
+        self._window_flush = None
+
+    # ------------------------------------------------------------------
+    # BatchKernel protocol
+    # ------------------------------------------------------------------
+    def begin_window(self, plan: WindowPlan):
+        made = self.inner.begin_btb_window(plan, self)
+        span, flush = made if made is not None else (None, None)
+        if span is None:
+            tokens = plan.tokens
+            bpc = tokens.bpc
+            btarget = tokens.btarget
+            btb_end = tokens.btb_end
+            cursor = 0
+
+            def span(lo: int, hi: int) -> None:
+                nonlocal cursor
+                access = self.access
+                end = btb_end[hi - 1] if hi > 0 else 0
+                for j in range(cursor, end):
+                    access(bpc[j], btarget[j])
+                cursor = end
+
+            flush = None
+        self._window_span = span
+        self._window_flush = flush
+        return span
+
+    def run_chunk(self, lo: int, hi: int) -> None:
+        span = self._window_span
+        if span is None:
+            raise RuntimeError(
+                "run_chunk() outside an active window; call begin_window() first"
+            )
+        span(lo, hi)
 
     def state_digest(self) -> dict:
         return {
@@ -293,6 +542,9 @@ class BTBKernel:
         }
 
     def sync(self) -> None:
+        flush = self._window_flush
+        if flush is not None:
+            flush()
         self.inner.sync()
         self.btb.target_mispredictions += self._d_target_mispredictions
         self._d_target_mispredictions = 0

@@ -11,15 +11,26 @@ train events move ``increments``/``decrements``.
 from __future__ import annotations
 
 from repro.cache.set_assoc import _INVALID_TAG
-from repro.kernel.base import BYPASS, FILL, HIT, CacheKernel, register_kernel
+from repro.kernel.base import (
+    BYPASS,
+    FILL,
+    HIT,
+    CacheKernel,
+    WindowPlan,
+    batch_kernel,
+)
+from repro.kernel.tokenizer import HAVE_NUMPY
 from repro.policies.sdbp import SDBPPolicy
 from repro.util.bits import mask
 from repro.util.hashing import SkewedIndexTable
 
+if HAVE_NUMPY:
+    import numpy as _np
+
 __all__ = ["SDBPKernel"]
 
 
-@register_kernel(SDBPPolicy)
+@batch_kernel(SDBPPolicy)
 class SDBPKernel(CacheKernel):
     """Flattened SDBP: sampler training + sum-thresholded predictions."""
 
@@ -50,6 +61,7 @@ class SDBPKernel(CacheKernel):
         self._bypass_threshold = config.bypass_sum_threshold
         self._d_increments = 0
         self._d_decrements = 0
+        self._sig_columns = None
 
     def state_digest(self) -> dict:
         return {
@@ -222,3 +234,141 @@ class SDBPKernel(CacheKernel):
         bank.decrements += self._d_decrements
         self._d_increments = 0
         self._d_decrements = 0
+
+    # ------------------------------------------------------------------
+    # Batch executors
+    # ------------------------------------------------------------------
+    def _signature_columns(self):
+        """Full-space signature → per-table index columns (run-cached)."""
+        cached = self._sig_columns
+        if cached is None:
+            np = _np
+            lookup = self._lookup
+            matrix = np.asarray(
+                [lookup[s] for s in range(self._sig_mask + 1)], dtype=np.int64
+            )
+            columns_np = tuple(
+                np.ascontiguousarray(matrix[:, t]) for t in range(self._num_tables)
+            )
+            cached = (tuple(col.tolist() for col in columns_np), columns_np)
+            self._sig_columns = cached
+        return cached
+
+    def _make_window(self, plan: WindowPlan):
+        # The unrolled vote below assumes the stock three-table bank; any
+        # other shape falls back to the generic scalar-loop executor.
+        if self._num_tables != 3:
+            return None
+        tokens = plan.tokens
+        block_size = 1 << self._offset_bits
+        blocks, pcs, acc_end = tokens.access_view(block_size)
+        sets, atags = tokens.icache_geometry_view(
+            block_size, self._offset_bits, self._index_mask, self._tag_shift
+        )
+        key = ("sdbp-sig", self._sig_mask)
+
+        def build():
+            np = _np
+            sig = (np.asarray(pcs, dtype=np.int64) >> 2) & self._sig_mask
+            _cols, cols_np = self._signature_columns()
+            return tuple(col[sig].tolist() for col in cols_np)
+
+        i0a, i1a, i2a = tokens.view(key, build)
+        r0, r1, r2 = self._counter_rows
+        if self._blockmap is None:
+            self._blockmap = self._build_blockmap()
+        bm = self._blockmap
+        rows = self._tags
+        dead = self._pred_dead
+        last_use = self._last_use
+        clock = self._clock
+        tag_shift = self._tag_shift
+        offset_bits = self._offset_bits
+        dead_thr = self._dead_threshold
+        bypass_thr = self._bypass_threshold
+        sampled = self._sampled_sets
+        sampler_access = self._sampler_access
+        cursor = 0
+        d_hits = d_misses = d_bypasses = d_evictions = d_dead = 0
+        last_set = -1
+        last_way: int | None = 0
+
+        def span(lo: int, hi: int) -> None:
+            nonlocal cursor, d_hits, d_misses, d_bypasses, d_evictions, d_dead
+            nonlocal last_set, last_way
+            end = acc_end[hi - 1] if hi > 0 else 0
+            i = cursor
+            if i >= end:
+                return
+            bmget = bm.get
+            set_index = 0
+            wayv: int | None = 0
+            while i < end:
+                block = blocks[i]
+                set_index = sets[i]
+                wayv = bmget(block, -1)
+                if wayv >= 0:
+                    if set_index in sampled:
+                        sampler_access(set_index, block, pcs[i])
+                    dead[set_index][wayv] = (
+                        r0[i0a[i]] + r1[i1a[i]] + r2[i2a[i]]
+                    ) >= dead_thr
+                    tick = clock[set_index] + 1
+                    clock[set_index] = tick
+                    last_use[set_index][wayv] = tick
+                    d_hits += 1
+                    i += 1
+                    continue
+                # Bypass vote reads the pre-sampler counters (reference order).
+                if (r0[i0a[i]] + r1[i1a[i]] + r2[i2a[i]]) >= bypass_thr:
+                    if set_index in sampled:
+                        sampler_access(set_index, block, pcs[i])
+                    d_misses += 1
+                    d_bypasses += 1
+                    wayv = None
+                    i += 1
+                    continue
+                row = rows[set_index]
+                try:
+                    wayv = row.index(_INVALID_TAG)
+                except ValueError:
+                    dead_row = dead[set_index]
+                    try:
+                        wayv = dead_row.index(True)
+                    except ValueError:
+                        recency = last_use[set_index]
+                        wayv = recency.index(min(recency))
+                    d_evictions += 1
+                    if dead_row[wayv]:
+                        d_dead += 1
+                    dead_row[wayv] = False
+                    del bm[(row[wayv] << tag_shift) | (set_index << offset_bits)]
+                row[wayv] = atags[i]
+                bm[block] = wayv
+                if set_index in sampled:
+                    sampler_access(set_index, block, pcs[i])
+                dead[set_index][wayv] = (
+                    r0[i0a[i]] + r1[i1a[i]] + r2[i2a[i]]
+                ) >= dead_thr
+                tick = clock[set_index] + 1
+                clock[set_index] = tick
+                last_use[set_index][wayv] = tick
+                d_misses += 1
+                i += 1
+            cursor = i
+            last_set = set_index
+            last_way = wayv
+
+        def flush() -> None:
+            nonlocal d_hits, d_misses, d_bypasses, d_evictions, d_dead
+            self._d_hits += d_hits
+            self._d_misses += d_misses
+            self._d_bypasses += d_bypasses
+            self._d_evictions += d_evictions
+            self._d_dead_evictions += d_dead
+            d_hits = d_misses = d_bypasses = d_evictions = d_dead = 0
+            if last_set >= 0:
+                self.set_index = last_set
+                self.way = last_way
+
+        return span, flush

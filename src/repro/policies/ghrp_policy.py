@@ -44,7 +44,6 @@ class GHRPPolicy(ReplacementPolicy):
     """
 
     name = "ghrp"
-    supports_fast_path = True
 
     def __init__(
         self,
@@ -188,7 +187,6 @@ class GHRPBTBPolicy(ReplacementPolicy):
     """
 
     name = "ghrp-btb"
-    supports_fast_path = True
 
     def __init__(
         self,

@@ -18,7 +18,6 @@ class LRUPolicy(ReplacementPolicy):
     """Evict the least recently used block."""
 
     name = "lru"
-    supports_fast_path = True
 
     def _allocate_state(self, geometry: CacheGeometry) -> None:
         self._last_use = [[0] * geometry.associativity for _ in range(geometry.num_sets)]
@@ -57,9 +56,8 @@ class MRUPolicy(LRUPolicy):
     """
 
     name = "mru"
-    # Inherits LRU's state layout but not its victim rule; no kernel is
-    # registered for it, so it must not inherit the fast-path opt-in.
-    supports_fast_path = False
+    # Inherits LRU's state layout but not its victim rule; the batch-kernel
+    # registry is exact-class, so MRU never inherits LRU's kernel.
 
     def select_victim(self, set_index: int, ctx: AccessContext) -> int:
         recency = self._last_use[set_index]

@@ -82,7 +82,6 @@ class SDBPPolicy(ReplacementPolicy):
     """PC-indexed dead block prediction with a decoupled sampler."""
 
     name = "sdbp"
-    supports_fast_path = True
 
     def __init__(self, config: SDBPConfig | None = None):
         super().__init__()

@@ -26,7 +26,7 @@ from repro.btb.btb import BranchTargetBuffer
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.frontend.config import FrontEndConfig
-from repro.frontend.engine import _build_policies
+from repro.frontend.engine import build_policies
 from repro.policies.lru import LRUPolicy
 from repro.timing.config import TimingConfig
 from repro.traces.record import BranchRecord, BranchType
@@ -79,7 +79,7 @@ class TimedFrontEnd:
     def __init__(self, config: FrontEndConfig, timing: TimingConfig | None = None):
         self.config = config
         self.timing = timing or TimingConfig()
-        icache_policy, btb_policy, self.ghrp = _build_policies(config)
+        icache_policy, btb_policy, self.ghrp = build_policies(config)
         self.icache = SetAssociativeCache(
             CacheGeometry.from_capacity(
                 config.icache_bytes, config.icache_assoc, config.block_size

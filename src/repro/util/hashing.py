@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from repro.util.bits import fold_xor, mask
 
-__all__ = ["splitmix64", "mix64", "skewed_indices", "SkewedIndexTable"]
+__all__ = [
+    "splitmix64",
+    "mix64",
+    "skewed_indices",
+    "skewed_index_columns",
+    "SkewedIndexTable",
+]
 
 _U64 = (1 << 64) - 1
 
@@ -145,40 +151,98 @@ class SkewedIndexTable:
         """Eagerly fill the table for every ``signature_bits``-wide signature.
 
         Afterwards :attr:`lookup` hits the dict for every possible
-        signature, with no hashing left on the hot path.  Uses numpy when
-        available (the whole 16-bit space fills in milliseconds), falling
-        back to the scalar pipeline.
+        signature, with no hashing left on the hot path.  The full-space
+        table is a pure function of ``(num_tables, index_bits,
+        signature_bits)``, so it is computed once per process (vectorized
+        when numpy is importable) and copied into this instance's memo —
+        rebuilding a front end costs one C-level ``dict.update``, not a
+        re-hash of the signature space.
         """
         total = 1 << signature_bits
         if len(self._cache) >= total:
             return
-        try:
-            import numpy as np
-        except ImportError:
-            for signature in range(total):
-                self.indices(signature)
-            return
-        index_bits = self.index_bits
-        index_mask = np.uint64((1 << index_bits) - 1)
-        shift = np.uint64(index_bits)
-        signatures = np.arange(total, dtype=np.uint64)
-        columns = []
-        for t in range(self.num_tables):
-            value = signatures ^ np.uint64(_TABLE_TWEAKS[t])
-            value = value + np.uint64(0x9E3779B97F4A7C15)
-            value = (value ^ (value >> np.uint64(30))) * np.uint64(_MIX_MULT_1)
-            value = (value ^ (value >> np.uint64(27))) * np.uint64(_MIX_MULT_2)
-            value = value ^ (value >> np.uint64(31))
-            folded = np.zeros_like(value)
-            while value.any():
-                folded ^= value & index_mask
-                value >>= shift
-            columns.append(folded.tolist())
-        cache = self._cache
-        for signature, indices in enumerate(zip(*columns, strict=True)):
-            cache[signature] = indices
+        self._cache.update(
+            _full_space_table(self.num_tables, self.index_bits, signature_bits)
+        )
 
     @property
     def lookup(self) -> dict[int, tuple[int, ...]]:
         """The raw memo dict, for kernels that inline the ``.get`` call."""
         return self._cache
+
+
+# Process-wide memos for the full-signature-space tables.  The values are
+# pure functions of the key (deterministic hash pipeline over a fixed
+# range) and are never mutated after construction, so sharing them across
+# banks/kernels cannot couple simulations.
+_FULL_TABLE_MEMO: dict[tuple[int, int, int], dict[int, tuple[int, ...]]] = {}
+_COLUMN_MEMO: dict[tuple[int, int, int], tuple] = {}
+
+
+def _full_space_table(
+    num_tables: int, index_bits: int, signature_bits: int
+) -> dict[int, tuple[int, ...]]:
+    key = (num_tables, index_bits, signature_bits)
+    table = _FULL_TABLE_MEMO.get(key)
+    if table is not None:
+        return table
+    total = 1 << signature_bits
+    try:
+        import numpy as np
+    except ImportError:
+        scalar = SkewedIndexTable(num_tables, index_bits)
+        for signature in range(total):
+            scalar.indices(signature)
+        _FULL_TABLE_MEMO[key] = scalar._cache
+        return scalar._cache
+    index_mask = np.uint64((1 << index_bits) - 1)
+    shift = np.uint64(index_bits)
+    signatures = np.arange(total, dtype=np.uint64)
+    columns = []
+    for t in range(num_tables):
+        value = signatures ^ np.uint64(_TABLE_TWEAKS[t])
+        value = value + np.uint64(0x9E3779B97F4A7C15)
+        value = (value ^ (value >> np.uint64(30))) * np.uint64(_MIX_MULT_1)
+        value = (value ^ (value >> np.uint64(27))) * np.uint64(_MIX_MULT_2)
+        value = value ^ (value >> np.uint64(31))
+        folded = np.zeros_like(value)
+        while value.any():
+            folded ^= value & index_mask
+            value >>= shift
+        columns.append(folded.tolist())
+    table = dict(enumerate(zip(*columns, strict=True)))
+    _FULL_TABLE_MEMO[key] = table
+    return table
+
+
+def skewed_index_columns(num_tables: int, index_bits: int, signature_bits: int):
+    """Full-space signature → per-table index *columns*, memoized.
+
+    Returns ``(columns, columns_np)``: one Python list and (when numpy is
+    importable, else ``None``) one contiguous int64 array per table, each
+    indexed directly by signature.  Bit-identical to
+    :func:`skewed_indices` by construction; the batched kernels index the
+    lists on the scalar hot path and use the arrays for vectorized
+    signature lowering.
+    """
+    key = (num_tables, index_bits, signature_bits)
+    cached = _COLUMN_MEMO.get(key)
+    if cached is not None:
+        return cached
+    lookup = _full_space_table(num_tables, index_bits, signature_bits)
+    total = 1 << signature_bits
+    rows = [lookup[signature] for signature in range(total)]
+    try:
+        import numpy as np
+    except ImportError:
+        columns_np = None
+        columns = tuple(list(column) for column in zip(*rows, strict=True))
+    else:
+        matrix = np.asarray(rows, dtype=np.int64)
+        columns_np = tuple(
+            np.ascontiguousarray(matrix[:, t]) for t in range(num_tables)
+        )
+        columns = tuple(column.tolist() for column in columns_np)
+    cached = (columns, columns_np)
+    _COLUMN_MEMO[key] = cached
+    return cached

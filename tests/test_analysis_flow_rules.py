@@ -540,7 +540,7 @@ class TestFlowTier:
         assert result.findings == []
         assert set(result.rules_run) == set(FLOW_RULES)
 
-    def test_engine_flag_partitions_tiers(self, tmp_path, capsys):
+    def test_tier_flag_partitions_tiers(self, tmp_path, capsys):
         target = tmp_path / "experiments" / "mod.py"
         target.parent.mkdir(parents=True)
         target.write_text(
@@ -556,15 +556,31 @@ class TestFlowTier:
             "import random\n\ndef pick(ways):\n    return random.randrange(ways)\n",
             encoding="utf-8",
         )
-        code_flow = main(["check", str(tmp_path), "--engine", "flow"])
+        code_flow = main(["check", str(tmp_path), "--tier", "flow"])
         out_flow = capsys.readouterr().out
-        code_syntax = main(["check", str(tmp_path), "--engine", "syntax"])
+        code_syntax = main(["check", str(tmp_path), "--tier", "syntax"])
         out_syntax = capsys.readouterr().out
         assert code_flow == 0  # replace with nothing dirty: flow tier clean
         assert "det-" not in out_flow
         assert code_syntax == 1
         assert "det-unseeded-random" in out_syntax
         assert "flow-" not in out_syntax
+
+    def test_legacy_engine_flag_warns_and_aliases_tier(self, tmp_path, capsys):
+        kernel = tmp_path / "kernel" / "mod.py"
+        kernel.parent.mkdir(parents=True)
+        kernel.write_text(
+            "import random\n\ndef pick(ways):\n    return random.randrange(ways)\n",
+            encoding="utf-8",
+        )
+        with pytest.warns(DeprecationWarning, match="--tier"):
+            code = main(["check", str(tmp_path), "--engine", "syntax"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "det-unseeded-random" in out
+        # Both spellings at once is a usage error, not a silent pick.
+        code = main(["check", str(tmp_path), "--tier", "flow", "--engine", "syntax"])
+        assert code == 2
 
     def test_sarif_output_schema(self, tmp_path, capsys):
         target = tmp_path / "experiments" / "mod.py"

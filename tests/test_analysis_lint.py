@@ -665,17 +665,18 @@ class TestProjectRules:
 
 
 class TestFastPathDigestContract:
-    """contract-fast-path: every registered kernel needs state_digest()."""
+    """contract-fast-path: every @batch_kernel entry needs state_digest()."""
 
     _KERNEL_SNIPPET = (
-        "from repro.kernel.base import CacheKernel, register_kernel\n"
+        "from repro.kernel.base import CacheKernel, batch_kernel\n"
+        "from repro.policies.lru import LRUPolicy\n"
         "\n"
         "\n"
-        "class {policy}:\n"
-        "    supports_fast_path = True\n"
+        "class {policy}(LRUPolicy):\n"
+        "    name = \"lint-fixture\"\n"
         "\n"
         "\n"
-        "{allow}@register_kernel({policy})\n"
+        "{allow}@batch_kernel({policy})\n"
         "class {kernel}(CacheKernel):\n"
         "    pass\n"
     )
@@ -690,7 +691,7 @@ class TestFastPathDigestContract:
         import importlib.util
         import sys
 
-        from repro.kernel.base import _KERNELS
+        from repro.kernel.base import _BATCH_KERNELS
 
         snippet = tmp_path / "kernel" / f"{name}.py"
         snippet.parent.mkdir(parents=True, exist_ok=True)
@@ -714,7 +715,7 @@ class TestFastPathDigestContract:
             ).run()
         finally:
             sys.modules.pop(spec.name, None)
-            _KERNELS.pop(getattr(module, f"{name.title()}Policy", None), None)
+            _BATCH_KERNELS.pop(getattr(module, f"{name.title()}Policy", None), None)
 
     def test_kernel_without_state_digest_flagged(self, tmp_path):
         result = self._lint_with_fixture_kernel(tmp_path, "digestless", allow="")

@@ -1,4 +1,4 @@
-"""Behavior of the `repro.api` facade and the legacy-entry-point shims."""
+"""Behavior of the `repro.api` facade (and the retirement of its shims)."""
 
 from dataclasses import asdict
 
@@ -15,7 +15,7 @@ from repro import (
     simulate,
     sweep,
 )
-from repro.frontend.engine import _build_policies, build_policies
+import repro.frontend.engine as engine_module
 
 
 @pytest.fixture(scope="module")
@@ -140,33 +140,23 @@ class TestRunOptions:
         assert capped.warmup_instructions == config.warmup_cap_instructions
 
 
-class TestDeprecationShims:
-    def test_legacy_positional_warmup_warns_and_matches(self, workload):
-        records = list(workload.records())
-        modern = build_frontend().run(records, RunOptions(warmup_instructions=4000))
-        legacy_frontend = build_frontend()
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = legacy_frontend.run(records, 4000)
-        assert asdict(modern) == asdict(legacy)
+class TestRetiredShims:
+    """The PR-4 deprecation shims are gone; old spellings fail loudly."""
 
-    def test_run_with_config_warmup_warns_and_matches(self, workload):
-        records = list(workload.records())
-        config = FrontEndConfig()
-        hint = workload.instruction_count()
-        modern = build_frontend(config).run(
-            records, RunOptions.from_config_warmup(config, hint)
-        )
-        legacy_frontend = build_frontend(config)
-        with pytest.warns(DeprecationWarning, match="run_with_config_warmup"):
-            legacy = legacy_frontend.run_with_config_warmup(records, config, hint)
-        assert asdict(modern) == asdict(legacy)
+    def test_legacy_positional_warmup_rejected(self, workload):
+        frontend = build_frontend()
+        with pytest.raises((TypeError, AttributeError)):
+            frontend.run(list(workload.records()), 4000)
 
-    def test_private_build_policies_alias_warns(self):
+    def test_run_with_config_warmup_removed(self):
+        assert not hasattr(build_frontend(), "run_with_config_warmup")
+
+    def test_private_build_policies_alias_removed(self):
+        assert not hasattr(engine_module, "_build_policies")
         config = FrontEndConfig(icache_policy="lru")
-        with pytest.warns(DeprecationWarning, match="_build_policies"):
-            shimmed = _build_policies(config)
-        direct = build_policies(config)
-        assert type(shimmed[0]) is type(direct[0])
+        icache_policy, _, ghrp = engine_module.build_policies(config)
+        assert type(icache_policy).name == "lru"
+        assert ghrp is None
 
     def test_options_and_legacy_keywords_conflict(self, workload):
         frontend = build_frontend()

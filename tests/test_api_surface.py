@@ -23,6 +23,11 @@ API_EXPORTS = frozenset(
         "SimulationResult",
         "TelemetryConfig",
         "TelemetryRun",
+        "BatchKernel",
+        "TokenCache",
+        "TraceTokens",
+        "batch_kernel",
+        "tokenize_trace",
     }
 )
 
@@ -54,6 +59,11 @@ TOP_LEVEL_EXPORTS = frozenset(
         "Workload",
         "make_suite",
         "make_workload",
+        "BatchKernel",
+        "TokenCache",
+        "TraceTokens",
+        "batch_kernel",
+        "tokenize_trace",
         "__version__",
     }
 )

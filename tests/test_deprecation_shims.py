@@ -1,7 +1,7 @@
-"""Deprecated front-end spellings: warn once, behave identically.
+"""Retired front-end spellings: gone for good, loudly.
 
 The PR-4 engine refactor kept three legacy call shapes alive for one
-release, each behind a ``DeprecationWarning``:
+release behind ``DeprecationWarning``:
 
 - ``FrontEnd.run(records, warmup)`` with a positional int where
   ``options`` now goes;
@@ -10,9 +10,10 @@ release, each behind a ``DeprecationWarning``:
 - ``repro.frontend.engine._build_policies``, the private alias of
   :func:`repro.frontend.engine.build_policies`.
 
-These tests pin the shim contract: each spelling must raise the
-warning *and* produce results identical to the supported spelling, so
-removing a shim (or silently changing what it maps to) fails loudly.
+That release has shipped and the shims are retired.  These tests pin
+the *removal*: the old spellings must fail immediately (not silently
+change meaning), and the supported spellings must cover everything the
+shims used to do.
 """
 
 from __future__ import annotations
@@ -21,8 +22,9 @@ from dataclasses import asdict
 
 import pytest
 
+import repro.frontend.engine as engine_module
 from repro.frontend.config import FrontEndConfig
-from repro.frontend.engine import _build_policies, build_frontend, build_policies
+from repro.frontend.engine import build_frontend
 from repro.frontend.options import RunOptions
 from repro.workloads.suite import Category, make_workload
 
@@ -43,35 +45,30 @@ def records(config):
 
 
 @pytest.mark.parametrize("engine", ["reference", "fast"])
-def test_positional_warmup_warns_and_matches(config, records, engine):
-    baseline = build_frontend(config, engine=engine).run(
-        iter(records), RunOptions(warmup_instructions=WARMUP)
-    )
+def test_positional_warmup_rejected(config, records, engine):
+    """A bare int where ``options`` goes fails fast, not silently."""
     frontend = build_frontend(config, engine=engine)
-    with pytest.warns(DeprecationWarning, match="RunOptions"):
-        legacy = frontend.run(iter(records), WARMUP)
-    assert asdict(legacy) == asdict(baseline)
+    with pytest.raises((TypeError, AttributeError)):
+        frontend.run(iter(records), WARMUP)
 
 
-def test_run_with_config_warmup_warns_and_matches(config, records):
+def test_run_with_config_warmup_removed(config, records):
+    frontend = build_frontend(config)
+    assert not hasattr(frontend, "run_with_config_warmup")
+    # The supported spelling carries the shim's whole contract.
     hint = len(records)
+    result = frontend.run(iter(records), RunOptions.from_config_warmup(config, hint))
     baseline = build_frontend(config).run(
         iter(records), RunOptions.from_config_warmup(config, hint)
     )
-    frontend = build_frontend(config)
-    with pytest.warns(DeprecationWarning, match="from_config_warmup"):
-        legacy = frontend.run_with_config_warmup(iter(records), config, hint)
-    assert asdict(legacy) == asdict(baseline)
+    assert asdict(result) == asdict(baseline)
 
 
-def test_build_policies_private_alias_warns_and_matches(config):
-    supported = build_policies(config)
-    with pytest.warns(DeprecationWarning, match="build_policies"):
-        legacy = _build_policies(config)
-    assert [type(part) for part in legacy] == [type(part) for part in supported]
-    # Both spellings must wire GHRP sharing the same way: one predictor
-    # instance shared by the I-cache and BTB policies.
-    icache_policy, btb_policy, ghrp = legacy
+def test_build_policies_private_alias_removed(config):
+    assert not hasattr(engine_module, "_build_policies")
+    # The public spelling wires GHRP sharing: one predictor instance
+    # shared by the I-cache and BTB policies.
+    icache_policy, btb_policy, ghrp = engine_module.build_policies(config)
     assert ghrp is not None
     assert icache_policy.predictor is ghrp
     assert btb_policy.predictor is ghrp

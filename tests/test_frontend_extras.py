@@ -5,6 +5,7 @@ import pytest
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import build_frontend
+from repro.frontend.options import RunOptions
 from repro.workloads.spec import Category
 from repro.workloads.suite import make_workload
 
@@ -15,11 +16,12 @@ def workload():
 
 
 class TestConfigWarmup:
-    def test_run_with_config_warmup(self, workload):
+    def test_config_warmup_rule(self, workload):
         config = FrontEndConfig(warmup_fraction=0.5, warmup_cap_instructions=2_000)
         frontend = build_frontend(config)
-        result = frontend.run_with_config_warmup(
-            workload.records(), config, workload.instruction_count()
+        result = frontend.run(
+            workload.records(),
+            RunOptions.from_config_warmup(config, workload.instruction_count()),
         )
         # Cap binds: warm-up ends at ~2000 instructions, not half the trace.
         assert 2_000 <= result.warmup_instructions <= 2_000 + 400
@@ -28,7 +30,9 @@ class TestConfigWarmup:
         total = workload.instruction_count()
         config = FrontEndConfig(warmup_fraction=0.1, warmup_cap_instructions=10**9)
         frontend = build_frontend(config)
-        result = frontend.run_with_config_warmup(workload.records(), config, total)
+        result = frontend.run(
+            workload.records(), RunOptions.from_config_warmup(config, total)
+        )
         assert result.warmup_instructions == pytest.approx(total * 0.1, rel=0.1)
 
 
