@@ -11,7 +11,8 @@ PYTHON ?= python
 # pytest-timeout (when installed, as in CI) backstops a regressed hang.
 FAULT_TESTS = tests/test_faults.py tests/test_supervisor.py \
               tests/test_store_durability.py tests/test_failure_injection.py \
-              tests/test_scheduler.py
+              tests/test_scheduler.py tests/test_service.py \
+              tests/test_service_daemon.py
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop

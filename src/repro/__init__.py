@@ -76,13 +76,16 @@ __all__ = [
     "TraceTokens",
     "batch_kernel",
     "tokenize_trace",
+    "ServiceClient",
+    "ServiceError",
     "__version__",
 ]
 
-#: Facade names resolved lazily through :mod:`repro.api` (the kernel
-#: package behind them is a deferred import there too).
+#: Facade names resolved lazily through :mod:`repro.api` (the kernel and
+#: service packages behind them are deferred imports there too).
 _LAZY_EXPORTS = frozenset(
-    {"BatchKernel", "TokenCache", "TraceTokens", "batch_kernel", "tokenize_trace"}
+    {"BatchKernel", "TokenCache", "TraceTokens", "batch_kernel",
+     "tokenize_trace", "ServiceClient", "ServiceError"}
 )
 
 

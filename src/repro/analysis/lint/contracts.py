@@ -256,7 +256,11 @@ class AtomicWriteRule(Rule):
     )
 
     def check_file(self, source: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
-        if "experiments" not in source.dir_names or source.tree is None:
+        # The job service persists results and endpoint metadata with the
+        # same crash-safety obligations as the experiment layer.
+        if source.tree is None or not (
+            "experiments" in source.dir_names or "service" in source.dir_names
+        ):
             return ()
         return self._check(source)
 

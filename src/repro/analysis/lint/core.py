@@ -52,10 +52,12 @@ __all__ = [
 # only to files under a directory with one of these names.  The five the
 # issue names plus the core predictor engine, the branch/BTB models, and
 # the batched fast-path kernels, which are kernel state machines in the
-# same sense.
+# same sense.  The job service rides along: its replay/fingerprint paths
+# must be as deterministic as the kernels they schedule (its two real
+# wall-clock reads carry explicit allow markers).
 KERNEL_DIR_NAMES = frozenset(
     {"cache", "policies", "frontend", "traces", "prefetch", "core", "btb",
-     "branch", "kernel"}
+     "branch", "kernel", "service"}
 )
 
 # Modules allowed to read process configuration (environment variables).

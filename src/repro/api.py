@@ -66,6 +66,10 @@ __all__ = [
     "TraceTokens",
     "batch_kernel",
     "tokenize_trace",
+    # The job-service client: submit sweeps to a `repro-sim serve` daemon
+    # and fetch durable results (see docs/service.md).
+    "ServiceClient",
+    "ServiceError",
 ]
 
 # The kernel package stays a lazy import (it is optional-numpy machinery
@@ -75,6 +79,10 @@ _KERNEL_EXPORTS = frozenset(
     {"BatchKernel", "TokenCache", "TraceTokens", "batch_kernel", "tokenize_trace"}
 )
 
+# The service client stays lazy for the same reason: importing the facade
+# should not pay for the daemon machinery (HTTP plumbing, job store).
+_SERVICE_EXPORTS = frozenset({"ServiceClient", "ServiceError"})
+
 
 def __getattr__(name: str):
     if name in _KERNEL_EXPORTS:
@@ -82,6 +90,12 @@ def __getattr__(name: str):
 
         value = getattr(kernel, name)
         globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    if name in _SERVICE_EXPORTS:
+        import repro.service as service
+
+        value = getattr(service, name)
+        globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 

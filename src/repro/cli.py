@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -483,9 +484,25 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             verify=args.verify,
             telemetry=_telemetry_config_from(args),
         )
+    # Shutdown path: durable artifacts first, console output last.  The
+    # report (which embeds the merged --telemetry series) and the
+    # metrics summary are the machine-read evidence of the run; writing
+    # them before any rendering or the partial-failure exit below means
+    # a --telemetry run is complete on disk even when the grid exits 2
+    # (or a summary renderer throws).
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(markdown_report(
+                grid,
+                title=f"GHRP reproduction report (seed {args.seed})",
+                telemetry=obs.telemetry if obs.enabled else None,
+            ))
+    _write_metrics(args, obs)
     print(figures.headline_numbers(
         grid, policies=tuple(grid.icache.policies)
     ).render())
+    if args.report:
+        print(f"wrote report to {args.report}")
     if scheduler is not None:
         stats = scheduler.stats
         print(
@@ -505,17 +522,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             print(f"shard {index}/{count}: {stats.other_shard} cell(s) owned "
                   f"by other shards; re-run unsharded to assemble the full "
                   f"grid from cache")
-    if args.report:
-        with open(args.report, "w", encoding="utf-8") as handle:
-            handle.write(markdown_report(
-                grid,
-                title=f"GHRP reproduction report (seed {args.seed})",
-                telemetry=obs.telemetry if obs.enabled else None,
-            ))
-        print(f"wrote report to {args.report}")
     if store is not None:
         print(f"{len(store)} cells checkpointed in {args.resume}")
-    _write_metrics(args, obs)
     if grid.failed:
         print(f"\nWARNING: partial grid — {len(grid.failed)} cell(s) failed:")
         for failure in grid.failed:
@@ -725,6 +733,207 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     report = characterize_workload(workload, max_branches=args.branches)
     print(report.render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobManager, ServiceConfig, ServiceDaemon
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue_depth=args.max_queue,
+        default_max_retries=args.retries,
+        default_deadline_seconds=args.deadline,
+        lease_expiry_seconds=args.lease_expiry,
+        heartbeat_interval_seconds=args.heartbeat_interval,
+        retry_after_seconds=args.retry_after,
+        snapshots=not args.no_snapshots,
+    )
+    manager = JobManager(args.data_dir, config=config)
+    daemon = ServiceDaemon(manager, host=args.host, port=args.port)
+    print(f"repro-sim serve: listening on {daemon.endpoint} "
+          f"({config.workers} worker(s), data dir {manager.data_dir})",
+          flush=True)
+    print(f"endpoint file: {daemon.endpoint_path}", flush=True)
+    # Blocks until SIGTERM/SIGINT drains the daemon; always exits 0 on
+    # a graceful drain (in-flight cells checkpointed, journal intact).
+    return daemon.serve()
+
+
+def _client_from(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    if args.url:
+        return ServiceClient(args.url, timeout=args.http_timeout)
+    if args.endpoint_file:
+        return ServiceClient.from_endpoint_file(args.endpoint_file,
+                                                timeout=args.http_timeout)
+    raise SystemExit("repro-sim client: --url or --endpoint-file is required")
+
+
+def _client_workloads(args: argparse.Namespace) -> list[dict]:
+    """The workload descriptors a submit sends (mirrors the grid suite)."""
+    if args.suite:
+        suite = make_suite(base_seed=args.seed, trace_scale=args.trace_scale)
+        if args.limit is not None:
+            suite = suite[: args.limit]
+        return [
+            {
+                "name": w.name,
+                "category": w.spec.category.value,
+                "seed": w.seed,
+                "trace_scale": args.trace_scale,
+                "footprint_scale": 1.0,
+            }
+            for w in suite
+        ]
+    return [
+        {
+            "category": args.category,
+            "seed": seed,
+            "trace_scale": args.trace_scale,
+            "footprint_scale": args.footprint_scale,
+        }
+        for seed in range(args.seed, args.seed + args.count)
+    ]
+
+
+def _print_job_summary(summary: dict) -> None:
+    line = (f"job {summary['job']}: {summary['state']}"
+            f" (attempts {summary.get('attempts', 0)}"
+            f", requeues {summary.get('requeues', 0)})")
+    if summary.get("grid_signature"):
+        line += f" signature {summary['grid_signature']}"
+    if summary.get("error"):
+        line += f" error: {summary['error']}"
+    print(line, flush=True)
+
+
+def _job_exit_code(summary: dict) -> int:
+    """Map a terminal job state onto grid exit-code semantics."""
+    state = summary.get("state")
+    if state == "done":
+        return 2 if summary.get("partial") else 0
+    return 1
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    try:
+        return args.client_func(args, _client_from(args))
+    except ServiceError as exc:
+        detail = f" (HTTP {exc.status})" if exc.status is not None else ""
+        print(f"repro-sim client: {exc}{detail}", file=sys.stderr, flush=True)
+        return 1
+
+
+def _cmd_client_submit(args: argparse.Namespace, client) -> int:
+    payload = {
+        "workloads": _client_workloads(args),
+        "policies": list(args.policies),
+        "config": {
+            "icache_bytes": args.icache_kb * 1024,
+            "icache_assoc": args.icache_assoc,
+            "block_size": args.block_size,
+            "btb_entries": args.btb_entries,
+            "btb_assoc": args.btb_assoc,
+            "icache_policy": "lru",
+            "btb_policy": "lru",
+        },
+        "engine": args.engine,
+        "verify": args.verify,
+    }
+    if args.deadline is not None:
+        payload["deadline_seconds"] = args.deadline
+    if args.job_retries is not None:
+        payload["max_retries"] = args.job_retries
+    summary = client.submit(payload, admission_retries=args.admission_retries)
+    created = "submitted" if summary.get("created") else "already known"
+    print(f"job {summary['job']} {created} ({summary['state']})", flush=True)
+    if args.watch:
+        return _watch_until_done(args, client, summary["job"])
+    if args.wait:
+        final = client.wait(summary["job"], poll_seconds=args.poll,
+                            timeout=args.timeout)
+        _print_job_summary(final)
+        return _job_exit_code(final)
+    return 0
+
+
+def _cmd_client_status(args: argparse.Namespace, client) -> int:
+    summary = client.status(args.job)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        _print_job_summary(summary)
+    return 0
+
+
+def _cmd_client_result(args: argparse.Namespace, client) -> int:
+    from repro.service import ServiceError
+
+    try:
+        document = client.result(args.job)
+    except ServiceError as exc:
+        if exc.status == 202:
+            print(f"job {args.job} not finished yet "
+                  f"({exc.payload.get('state', 'pending')})", file=sys.stderr)
+            return 1
+        raise
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return int(document.get("exit_code", 0))
+
+
+def _cmd_client_watch(args: argparse.Namespace, client) -> int:
+    return _watch_until_done(args, client, args.job)
+
+
+def _watch_until_done(args: argparse.Namespace, client, job_id: str) -> int:
+    final: dict | None = None
+    for event in client.watch(job_id, poll_seconds=args.poll,
+                              timeout=args.timeout):
+        kind = event.get("kind", "?")
+        if kind == "job.state":
+            final = event
+            break
+        if kind == "job.cell":
+            print(f"[{event.get('done')}/{event.get('total')}] "
+                  f"{event.get('policy')}/{event.get('workload')} "
+                  f"icache_mpki={event.get('icache_mpki'):.3f}"
+                  + (" DEGRADED" if event.get("degraded") else ""),
+                  flush=True)
+        else:
+            print(f"event {kind}: {json.dumps(event, sort_keys=True)}",
+                  flush=True)
+    if final is None:
+        return 1
+    _print_job_summary(final)
+    return _job_exit_code(final)
+
+
+def _cmd_client_cancel(args: argparse.Namespace, client) -> int:
+    summary = client.cancel(args.job)
+    _print_job_summary(summary)
+    return 0
+
+
+def _cmd_client_jobs(args: argparse.Namespace, client) -> int:
+    jobs = client.list_jobs()
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for summary in jobs:
+        _print_job_summary(summary)
+    return 0
+
+
+def _cmd_client_health(args: argparse.Namespace, client) -> int:
+    document = client.health()
+    print(json.dumps(document, sort_keys=True))
+    return 0 if document.get("status") in ("ok", "draining") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -957,6 +1166,120 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--list-rules", action="store_true",
                        help="list every rule id with its description and exit")
     check.set_defaults(func=_cmd_check)
+
+    serve = add_subcommand(
+        "serve", "run the durable simulation job daemon (drains on SIGTERM)"
+    )
+    serve.add_argument("--data-dir", required=True, metavar="DIR",
+                       help="service state root: job journal, results, "
+                            "progress events, and the shared cell cache; a "
+                            "restart replays the journal and resumes every "
+                            "job from here")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one; the bound address "
+                            "is written to DIR/endpoint.json)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads executing jobs (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="queued-job admission bound; beyond it submissions "
+                            "get 429 + Retry-After (default: 16)")
+    serve.add_argument("--retries", type=int, default=1, metavar="K",
+                       help="default per-job retry budget (default: 1)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="default per-job deadline in seconds from "
+                            "submission (default: none)")
+    serve.add_argument("--lease-expiry", type=float, default=30.0, metavar="S",
+                       help="job lease expiry; a crashed owner's claim is "
+                            "reclaimable after S seconds (default: 30)")
+    serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       metavar="S",
+                       help="lease heartbeat pacing (default: 2)")
+    serve.add_argument("--retry-after", type=float, default=2.0, metavar="S",
+                       help="Retry-After advice on 429/503 (default: 2)")
+    serve.add_argument("--no-snapshots", action="store_true",
+                       help="disable warm-up memoization in job sweeps")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = add_subcommand(
+        "client", "submit and track jobs on a repro-sim serve daemon"
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    def add_client_command(name: str, help: str, func) -> argparse.ArgumentParser:
+        sub = client_sub.add_parser(name, help=help)
+        sub.add_argument("--url", default=None,
+                         help="daemon base URL, e.g. http://127.0.0.1:8181")
+        sub.add_argument("--endpoint-file", default=None, metavar="PATH",
+                         help="read the daemon address from the endpoint.json "
+                              "it writes into its --data-dir")
+        sub.add_argument("--http-timeout", type=float, default=30.0,
+                         metavar="S")
+        sub.set_defaults(func=_cmd_client, client_func=func)
+        return sub
+
+    submit = add_client_command("submit", "submit a sweep job",
+                                _cmd_client_submit)
+    submit.add_argument("--suite", action="store_true",
+                        help="submit the full synthetic suite (the same "
+                             "workloads `repro-sim grid` runs for this seed)")
+    submit.add_argument("--limit", type=int, default=None,
+                        help="with --suite: only the first N suite workloads")
+    submit.add_argument("--category", type=_normalize_category,
+                        choices=[c.value for c in Category],
+                        default=Category.SHORT_SERVER.value)
+    submit.add_argument("--seed", type=int, default=2018,
+                        help="workload seed (with --suite: the suite base seed)")
+    submit.add_argument("--count", type=int, default=1, metavar="N",
+                        help="submit N workloads with consecutive seeds")
+    submit.add_argument("--trace-scale", type=float, default=1.0)
+    submit.add_argument("--footprint-scale", type=float, default=1.0)
+    submit.add_argument("--policies", nargs="+",
+                        default=list(figures.PAPER_POLICIES),
+                        choices=available_policies())
+    submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-job deadline in seconds from submission")
+    submit.add_argument("--job-retries", type=int, default=None, metavar="K",
+                        help="per-job retry budget (default: the server's)")
+    submit.add_argument("--admission-retries", type=int, default=0, metavar="K",
+                        help="retry a 429 rejection up to K times, honoring "
+                             "the server's Retry-After")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal; exit with grid "
+                             "semantics (0 clean, 2 partial, 1 failed)")
+    submit.add_argument("--watch", action="store_true",
+                        help="like --wait, but stream per-cell progress")
+    submit.add_argument("--poll", type=float, default=0.5, metavar="S")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S")
+    _add_config_arguments(submit)
+    _add_engine_argument(submit)
+    _add_verify_argument(submit)
+
+    status = add_client_command("status", "print one job's state",
+                                _cmd_client_status)
+    status.add_argument("job", help="job id (unique prefixes accepted)")
+    status.add_argument("--json", action="store_true")
+
+    result = add_client_command("result", "fetch a finished job's result "
+                                "document (JSON)", _cmd_client_result)
+    result.add_argument("job")
+
+    watch = add_client_command("watch", "tail a job's progress events until "
+                               "it finishes", _cmd_client_watch)
+    watch.add_argument("job")
+    watch.add_argument("--poll", type=float, default=0.5, metavar="S")
+    watch.add_argument("--timeout", type=float, default=None, metavar="S")
+
+    cancel = add_client_command("cancel", "cancel a queued or running job",
+                                _cmd_client_cancel)
+    cancel.add_argument("job")
+
+    jobs = add_client_command("jobs", "list every job the daemon tracks",
+                              _cmd_client_jobs)
+    jobs.add_argument("--json", action="store_true")
+
+    add_client_command("health", "daemon liveness and drain state",
+                       _cmd_client_health)
 
     return parser
 

@@ -26,14 +26,30 @@ terminal :class:`~repro.experiments.runner.FailedCell`.
 
 The plan is inert outside the supervisor: serial ``run_grid`` never
 consults it, and an empty plan injects nothing.
+
+:class:`ServiceFaultPlan` extends the same discipline one layer up, to
+the job daemon (:mod:`repro.service`): dropped lease heartbeats,
+stalled workers, and torn journal lines on submit are scheduled by
+deterministic counters, so the daemon's recovery paths — lease expiry,
+deadline enforcement, torn-tail replay — are exercised by the same
+kind of chosen-fault harness as the grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from threading import Event
+from typing import Callable
 
-__all__ = ["ALWAYS", "FAULT_MODES", "FaultInjected", "FaultSpec", "FaultPlan"]
+__all__ = [
+    "ALWAYS",
+    "FAULT_MODES",
+    "SERVICE_FAULT_MODES",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "ServiceFaultPlan",
+]
 
 ALWAYS = -1
 """Sentinel for ``fail_attempts``: fault on every attempt."""
@@ -119,3 +135,59 @@ class FaultPlan:
             return cell
         return {"garbage": True, "policy": policy, "workload": workload,
                 "attempt": attempt}
+
+
+SERVICE_FAULT_MODES = ("drop-heartbeat", "stall-worker", "torn-journal")
+
+
+@dataclass(slots=True)
+class ServiceFaultPlan:
+    """Deterministic service-shaped faults for the job daemon.
+
+    Counter-based, so the Nth occurrence always behaves the same way:
+
+    - ``drop_heartbeats=N`` swallows the first N job-lease heartbeats
+      (the lease goes stale exactly as if the worker wedged, and a
+      second claimant may break it);
+    - ``stall_cells=N`` invokes :attr:`stall` before each of the first
+      N job progress callbacks — tests pass a hook that advances a
+      :class:`~repro.service.clock.ManualClock` past the job deadline,
+      standing in for a worker that stopped making progress;
+    - ``torn_submits=N`` tears the tail of the first N ``submitted``
+      journal lines (the one corruption an append-only journal can
+      suffer from a crash), so replay-side skip logic is exercised on
+      the job journal too.
+    """
+
+    drop_heartbeats: int = 0
+    stall_cells: int = 0
+    torn_submits: int = 0
+    #: What "stalling" does; tests typically advance a manual clock.
+    stall: Callable[[], None] | None = None
+    # Occurrence counters (diagnostics; also what makes firing one-shot).
+    heartbeats_seen: int = 0
+    heartbeats_dropped: int = 0
+    cells_stalled: int = 0
+    submits_torn: int = 0
+
+    def take_heartbeat(self) -> bool:
+        """False when this heartbeat should be dropped."""
+        self.heartbeats_seen += 1
+        if self.heartbeats_dropped < self.drop_heartbeats:
+            self.heartbeats_dropped += 1
+            return False
+        return True
+
+    def before_job_cell(self, job_id: str) -> None:
+        """Progress-callback hook: stall the worker if scheduled."""
+        if self.cells_stalled < self.stall_cells:
+            self.cells_stalled += 1
+            if self.stall is not None:
+                self.stall()
+
+    def tear_journal(self, event: str) -> bool:
+        """True when this journal append's tail should be torn."""
+        if event == "submitted" and self.submits_torn < self.torn_submits:
+            self.submits_torn += 1
+            return True
+        return False

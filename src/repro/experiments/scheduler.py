@@ -180,8 +180,11 @@ class SweepScheduler:
     and each cell's bytes depend only on its digest.
 
     ``clock`` must be a wall clock (leases compare expiry times across
-    processes); ``sleep`` is injectable so retry/backoff tests run
-    without real delays.
+    processes); ``monotonic`` paces heartbeats and measures elapsed
+    time (NTP-step immune); ``sleep`` is injectable so retry/backoff
+    tests run without real delays.  All three default to real time and
+    are overridden together by the job service's
+    :class:`~repro.service.clock.ServiceClock`.
     """
 
     def __init__(
@@ -199,6 +202,7 @@ class SweepScheduler:
         telemetry=None,
         clock: Callable[[], float] = time.time,
         sleep: Callable[[float], None] = time.sleep,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         self.cache = cache if isinstance(cache, CellCache) else CellCache(cache)
         self.config = config or FrontEndConfig()
@@ -214,6 +218,7 @@ class SweepScheduler:
         self.telemetry = telemetry
         self.clock = clock
         self.sleep = sleep
+        self.monotonic = monotonic
         self.journal = CellJournal(self.cache.journal_path)
         self.leases = LeaseManager(
             self.cache.leases_dir,
@@ -256,9 +261,13 @@ class SweepScheduler:
 
     # -- lease heartbeats ----------------------------------------------
     def _maybe_heartbeat(self) -> None:
-        now = self.clock()
+        # Pacing runs on the monotonic clock (an NTP step must neither
+        # fire nor starve a heartbeat); the lease expiry stamp written
+        # by heartbeat() stays on the manager's wall clock, which is
+        # what other processes compare against.
+        now = self.monotonic()
         if now - self._last_heartbeat >= self.sched.heartbeat_interval_seconds:
-            self.leases.heartbeat(now)
+            self.leases.heartbeat()
             self._last_heartbeat = now
             self.obs.inc("scheduler.heartbeats")
 
@@ -404,7 +413,7 @@ class SweepScheduler:
             # retry budget: the journal, not process memory, is the
             # authority on how many tries this digest has had.
             attempt = journal_state.attempts.get(cell.digest, 0)
-            started = time.perf_counter()
+            started = self.monotonic()
             while True:
                 try:
                     result, note = self._compute(cell, attempt)
@@ -436,7 +445,7 @@ class SweepScheduler:
                         error_type=type(error).__name__,
                         message=str(error),
                         attempts=attempt + 1,
-                        elapsed_seconds=time.perf_counter() - started,
+                        elapsed_seconds=self.monotonic() - started,
                         bundle_path=getattr(error, "bundle_path", None),
                     )
                     failures[cell.slot] = failure
@@ -493,7 +502,7 @@ class SweepScheduler:
 
         executor = _Supervisor(
             self.config, self.supervisor, None, self.fault_plan, progress,
-            self.obs, time.monotonic, time.sleep,
+            self.obs, self.monotonic, self.sleep,
             engine=self.engine, verify=self.verify, telemetry=self.telemetry,
             sink=sink, tick=tick, on_attempt_failed=on_attempt_failed,
             snapshot_dir=(

@@ -1,0 +1,64 @@
+"""The durable simulation job service (``repro-sim serve``).
+
+The sweep infrastructure, turned into a long-running daemon: jobs are
+content-addressed sweep requests, journaled write-ahead in the
+:class:`~repro.experiments.journal.CellJournal` idiom, executed by
+heartbeat-supervised workers through the crash-safe
+:class:`~repro.experiments.scheduler.SweepScheduler`, and served over a
+stdlib HTTP surface with bounded admission and graceful drain.  See
+``docs/service.md`` for the lifecycle, endpoint, and recovery
+contracts.
+
+Layering (lowest first):
+
+- :mod:`repro.service.clock` — injectable wall/monotonic/sleep; the
+  only real clock reads in the package.
+- :mod:`repro.service.jobs` — :class:`JobSpec` (validated, fingerprinted
+  requests), :class:`JobRecord`, and the durable :class:`JobStore`.
+- :mod:`repro.service.manager` — the :class:`JobManager` state machine:
+  admission, deadlines, retries, recovery, drain.
+- :mod:`repro.service.daemon` — the ThreadingHTTPServer front door.
+- :mod:`repro.service.client` — the urllib client (also exported as
+  ``repro.api.ServiceClient``).
+"""
+
+from repro.service.clock import SYSTEM_CLOCK, ManualClock, ServiceClock
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceDaemon
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    JobValidationError,
+)
+from repro.service.manager import (
+    AdmissionError,
+    DrainingError,
+    JobManager,
+    QueueFullError,
+    ServiceConfig,
+    UnknownJobError,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DrainingError",
+    "JOB_STATES",
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "JobValidationError",
+    "ManualClock",
+    "QueueFullError",
+    "SYSTEM_CLOCK",
+    "ServiceClient",
+    "ServiceClock",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]

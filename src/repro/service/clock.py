@@ -1,0 +1,105 @@
+"""Injectable time sources for the simulation job service.
+
+Every service component receives a :class:`ServiceClock` instead of
+calling :mod:`time` directly, for the same reason the sweep scheduler
+takes ``clock`` and ``sleep``: lease expiry, deadlines, heartbeat
+pacing, and retry backoff must be testable without real sleeps.  The
+*only* real clock reads in ``repro.service`` live in this module (see
+:data:`SYSTEM_CLOCK`), each carrying a ``det-wallclock`` suppression so
+``repro-sim check`` pins exactly where wall time enters the daemon —
+an auditor greps for the suppression and finds two lines, not twenty.
+
+Wall versus monotonic, and why the split matters:
+
+- **Wall time** (``clock.wall``) is for values compared *across
+  processes* — lease ``expires_at`` stamps and job deadlines live in
+  files read by whichever process restarts next, where a monotonic
+  clock has no shared zero.
+- **Monotonic time** (``clock.monotonic``) is for *intervals* within
+  one process — heartbeat pacing, elapsed timing, backoff waits — so
+  an NTP step never fires (or starves) a heartbeat.
+
+:class:`ManualClock` is the deterministic test double: ``sleep``
+advances the clock instead of blocking, so lease-expiry and backoff
+paths run in microseconds of real time while exercising the same time
+arithmetic they would in production.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ManualClock", "ServiceClock", "SYSTEM_CLOCK"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceClock:
+    """The three time capabilities a service component may use."""
+
+    #: Seconds since the epoch; comparable across processes (leases,
+    #: deadlines, journal timestamps).
+    wall: Callable[[], float]
+    #: Monotonic seconds with an arbitrary zero; interval arithmetic
+    #: only (heartbeat pacing, elapsed timing, backoff waits).
+    monotonic: Callable[[], float]
+    #: Block for (at least) the given seconds; test doubles advance
+    #: their clock instead.
+    sleep: Callable[[float], None]
+
+
+def _system_wall() -> float:
+    """The service's single audited wall-clock read."""
+    return time.time()  # repro: allow(det-wallclock) -- the one real wall read
+
+
+def _system_monotonic() -> float:
+    """The service's single audited monotonic-clock read."""
+    return time.monotonic()  # repro: allow(det-wallclock) -- interval pacing
+
+
+#: The production clock.  Everything else in ``repro.service`` reaches
+#: real time only through this object.
+SYSTEM_CLOCK = ServiceClock(
+    wall=_system_wall,
+    monotonic=_system_monotonic,
+    sleep=time.sleep,
+)
+
+
+class ManualClock:
+    """A hand-advanced clock for sleep-free deterministic tests.
+
+    ``wall`` and ``monotonic`` advance in lockstep via :meth:`advance`;
+    :meth:`sleep` records the requested delay and advances instead of
+    blocking.  Hand :meth:`service_clock` to any component that takes a
+    :class:`ServiceClock`.
+    """
+
+    def __init__(self, *, wall: float = 1_700_000_000.0, monotonic: float = 0.0):
+        self._wall = wall
+        self._monotonic = monotonic
+        #: Every delay passed to :meth:`sleep`, for backoff assertions.
+        self.sleeps: list[float] = []
+
+    def wall(self) -> float:
+        return self._wall
+
+    def monotonic(self) -> float:
+        return self._monotonic
+
+    def advance(self, seconds: float) -> None:
+        """Move both clocks forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._wall += seconds
+        self._monotonic += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.advance(max(seconds, 0.0))
+
+    def service_clock(self) -> ServiceClock:
+        return ServiceClock(wall=self.wall, monotonic=self.monotonic,
+                            sleep=self.sleep)

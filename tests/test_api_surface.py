@@ -28,6 +28,8 @@ API_EXPORTS = frozenset(
         "TraceTokens",
         "batch_kernel",
         "tokenize_trace",
+        "ServiceClient",
+        "ServiceError",
     }
 )
 
@@ -64,6 +66,8 @@ TOP_LEVEL_EXPORTS = frozenset(
         "TraceTokens",
         "batch_kernel",
         "tokenize_trace",
+        "ServiceClient",
+        "ServiceError",
         "__version__",
     }
 )

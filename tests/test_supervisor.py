@@ -7,6 +7,7 @@ only real waiting anywhere is the sub-second per-cell timeout of the
 hang tests.
 """
 
+import json
 import logging
 import multiprocessing
 
@@ -431,3 +432,49 @@ class TestGridCli:
     def test_inject_fault_argument_validation(self):
         with pytest.raises(SystemExit):
             main(["grid", "--inject-fault", "not-a-fault-spec"])
+
+    def test_partial_grid_flushes_artifacts_before_exit_2(self, tmp_path, capsys):
+        # Shutdown-path ordering: the report (with embedded telemetry)
+        # and the metrics summary are durably written even when the grid
+        # exits 2 — machine-read evidence must not depend on a clean run.
+        report = tmp_path / "report.md"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "grid", "--limit", "1", "--trace-scale", "0.02", "--seed", "7",
+            "--policies", "lru", "random", "--workers", "1", "--retries", "0",
+            "--icache-kb", "8", "--start-method", START_METHOD,
+            "--inject-fault", "random/short-mobile-00=raise",
+            "--telemetry", "--telemetry-interval", "256",
+            "--report", str(report), "--metrics-out", str(metrics),
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "partial grid" in out
+        assert "### Failed cells" in report.read_text()
+        summary = json.loads(metrics.read_text())
+        assert "counters" in summary or summary  # parses as a full document
+        # The artifact lines print before the failure summary.
+        assert out.index("wrote report to") < out.index("partial grid")
+
+    def test_artifacts_survive_headline_renderer_crash(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Even a crash while rendering the console summary leaves the
+        # durable artifacts complete on disk (they are written first).
+        from repro.experiments import figures
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("renderer crashed")
+
+        monkeypatch.setattr(figures, "headline_numbers", explode)
+        report = tmp_path / "report.md"
+        metrics = tmp_path / "metrics.json"
+        with pytest.raises(RuntimeError, match="renderer crashed"):
+            main([
+                "grid", "--limit", "1", "--trace-scale", "0.02", "--seed", "7",
+                "--policies", "lru", "--workers", "1", "--retries", "0",
+                "--icache-kb", "8", "--start-method", START_METHOD,
+                "--report", str(report), "--metrics-out", str(metrics),
+            ])
+        assert "GHRP reproduction report" in report.read_text()
+        json.loads(metrics.read_text())
